@@ -1,0 +1,283 @@
+package bonsai
+
+import (
+	"time"
+
+	"bonsai/internal/body"
+	"bonsai/internal/sim"
+	"bonsai/internal/units"
+	"bonsai/internal/vec"
+)
+
+// Physical constants of the simulation unit system (lengths in kpc,
+// velocities in km/s, masses in 1e10 solar masses).
+const (
+	// G is the gravitational constant in simulation units.
+	G = units.G
+	// TimeUnitGyr is one simulation time unit expressed in gigayears.
+	TimeUnitGyr = units.KpcPerKmsToGyr
+)
+
+// Vec3 is a Cartesian 3-vector.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Particle is one N-body particle: position (kpc), velocity (km/s), mass
+// (1e10 M⊙) and a stable identity.
+type Particle struct {
+	Pos  Vec3
+	Vel  Vec3
+	Mass float64
+	ID   int64
+}
+
+// Config configures a simulation. Zero values select the paper's defaults
+// where one exists (Theta 0.4, NLeaf 16) and sensible values elsewhere.
+type Config struct {
+	// Ranks is the number of simulated MPI processes (one modeled GPU
+	// each). Default 1.
+	Ranks int
+	// WorkersPerRank is the number of compute workers each rank uses for
+	// its tree-walks and sorts. Default 1.
+	WorkersPerRank int
+	// Theta is the multipole acceptance opening angle. Default 0.4, the
+	// paper's production value for disk galaxies.
+	Theta float64
+	// Softening is the Plummer softening length in kpc. Default 0.01.
+	// For Milky Way models use SofteningForN.
+	Softening float64
+	// DT is the leapfrog time step in simulation units. Default 1e-3.
+	DT float64
+	// NLeaf caps particles per octree leaf. Default 16 (paper §I).
+	NLeaf int
+	// NGroup is the tree-walk target group size. Default 64.
+	NGroup int
+	// BoundaryDepth is the depth of the allgathered boundary trees.
+	// Default 4.
+	BoundaryDepth int
+	// DomainFreq is the number of steps between domain re-decompositions.
+	// Default 4.
+	DomainFreq int
+
+	// GravConst is the gravitational constant of the particle set's unit
+	// system. Default 1 (model units, as NewPlummer produces). Milky Way
+	// models are in galactic units and need GravConst: bonsai.G.
+	GravConst float64
+
+	// External, if non-nil, adds a static analytic field to the particle
+	// self-gravity — the paper's §I "type 1" setup (analytic dark halo +
+	// live disk). See GalaxyModel.StaticHalo. Must be thread-safe.
+	External ExternalField
+}
+
+// SofteningForN returns the softening (kpc) matching the paper's resolution
+// scaling: 1 pc at N = 51.2e9, growing as N^(-1/3) for smaller models.
+func SofteningForN(n int) float64 { return units.SofteningForN(n) }
+
+// SuggestedDT returns a reasonable leapfrog time step for an N-particle
+// Milky Way model: the paper's softening-crossing criterion, capped at
+// ~1% of the disk orbital period, which binds at reduced particle counts.
+func SuggestedDT(n int) float64 { return units.SuggestedDT(n) }
+
+// Gyr converts a simulation time to gigayears.
+func Gyr(t float64) float64 { return units.Gyr(t) }
+
+// FromGyr converts gigayears to simulation time.
+func FromGyr(gyr float64) float64 { return units.FromGyr(gyr) }
+
+// PhaseTimes is a per-step wall-clock breakdown matching the rows of the
+// paper's Table II.
+type PhaseTimes struct {
+	Sort          time.Duration
+	Domain        time.Duration
+	TreeBuild     time.Duration
+	TreeProps     time.Duration
+	GravLocal     time.Duration
+	GravLET       time.Duration
+	NonHiddenComm time.Duration
+	Other         time.Duration
+	Total         time.Duration
+}
+
+// StepStats summarizes one force computation across all ranks.
+type StepStats struct {
+	Step  int
+	Ranks int
+	N     int
+
+	// Times averages the per-rank phase breakdown; MaxTimes records the
+	// slowest rank per phase (the load-imbalance view).
+	Times    PhaseTimes
+	MaxTimes PhaseTimes
+
+	// Interaction statistics under the paper's §VI.A conventions.
+	PP            uint64
+	PC            uint64
+	PPPerParticle float64
+	PCPerParticle float64
+	Flops         float64
+
+	// LETsSent counts full LET pushes; BoundaryUsed counts rank pairs
+	// served by boundary trees alone; BytesSent is the step's total
+	// metered traffic.
+	LETsSent     int
+	BoundaryUsed int
+	BytesSent    int64
+
+	// WalkGflops is the aggregate rate over gravity-walk time only (the
+	// "GPU kernels" series of Fig. 4); AppGflops uses the full step time.
+	WalkGflops float64
+	AppGflops  float64
+}
+
+// Simulation is a running distributed N-body system.
+type Simulation struct {
+	inner *sim.Simulation
+}
+
+// New creates a simulation from the given particles.
+func New(cfg Config, parts []Particle) (*Simulation, error) {
+	inner, err := sim.New(sim.Config{
+		Ranks:          cfg.Ranks,
+		WorkersPerRank: cfg.WorkersPerRank,
+		Theta:          cfg.Theta,
+		Eps:            cfg.Softening,
+		DT:             cfg.DT,
+		NLeaf:          cfg.NLeaf,
+		NGroup:         cfg.NGroup,
+		BoundaryDepth:  cfg.BoundaryDepth,
+		DomainFreq:     cfg.DomainFreq,
+		G:              cfg.GravConst,
+		External:       wrapExternal(cfg.External),
+	}, toBody(parts))
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{inner: inner}, nil
+}
+
+// Step advances the system by one kick-drift-kick leapfrog step and returns
+// the force-computation statistics.
+func (s *Simulation) Step() StepStats { return fromStats(s.inner.Step()) }
+
+// Run advances n steps, returning per-step statistics.
+func (s *Simulation) Run(n int) []StepStats {
+	out := make([]StepStats, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s.Step())
+	}
+	return out
+}
+
+// ComputeForces runs the distributed force pipeline once without advancing
+// time; scaling studies use it to time pure force iterations.
+func (s *Simulation) ComputeForces() StepStats { return fromStats(s.inner.ComputeForces()) }
+
+// Time returns the current simulation time (internal units; see Gyr).
+func (s *Simulation) Time() float64 { return s.inner.Time() }
+
+// StepCount returns the number of completed steps.
+func (s *Simulation) StepCount() int { return s.inner.StepCount() }
+
+// Particles gathers the current particle states from all ranks, sorted by ID.
+func (s *Simulation) Particles() []Particle { return fromBody(s.inner.Particles()) }
+
+// Accelerations returns the latest accelerations and specific potentials,
+// ordered by particle ID.
+func (s *Simulation) Accelerations() ([]Vec3, []float64) {
+	acc, pot := s.inner.Accelerations()
+	out := make([]Vec3, len(acc))
+	for i, a := range acc {
+		out[i] = Vec3{a.X, a.Y, a.Z}
+	}
+	return out, pot
+}
+
+// Energy returns total kinetic and potential energy from the most recent
+// force evaluation.
+func (s *Simulation) Energy() (kin, pot float64) { return s.inner.Energy() }
+
+// Momentum returns the total linear momentum.
+func (s *Simulation) Momentum() Vec3 {
+	p := s.inner.Momentum()
+	return Vec3{p.X, p.Y, p.Z}
+}
+
+// RankCounts reports the current particle count per rank.
+func (s *Simulation) RankCounts() []int { return s.inner.RankCounts() }
+
+// Owners returns, for each particle ordered by ID, the rank that currently
+// owns it under the Peano–Hilbert domain decomposition.
+func (s *Simulation) Owners() []int { return s.inner.Owners() }
+
+// CommBytes returns the cumulative metered communication volume.
+func (s *Simulation) CommBytes() int64 { return s.inner.World().TotalBytes() }
+
+// ---------------------------------------------------------------------------
+// conversions
+
+func wrapExternal(f ExternalField) func(vec.V3) (vec.V3, float64) {
+	if f == nil {
+		return nil
+	}
+	return func(p vec.V3) (vec.V3, float64) {
+		a, pot := f(Vec3{p.X, p.Y, p.Z})
+		return vec.V3{X: a.X, Y: a.Y, Z: a.Z}, pot
+	}
+}
+
+func toBody(parts []Particle) []body.Particle {
+	out := make([]body.Particle, len(parts))
+	for i, p := range parts {
+		out[i] = body.Particle{
+			Pos:  vec.V3{X: p.Pos.X, Y: p.Pos.Y, Z: p.Pos.Z},
+			Vel:  vec.V3{X: p.Vel.X, Y: p.Vel.Y, Z: p.Vel.Z},
+			Mass: p.Mass,
+			ID:   p.ID,
+		}
+	}
+	return out
+}
+
+func fromBody(parts []body.Particle) []Particle {
+	out := make([]Particle, len(parts))
+	for i, p := range parts {
+		out[i] = Particle{
+			Pos:  Vec3{p.Pos.X, p.Pos.Y, p.Pos.Z},
+			Vel:  Vec3{p.Vel.X, p.Vel.Y, p.Vel.Z},
+			Mass: p.Mass,
+			ID:   p.ID,
+		}
+	}
+	return out
+}
+
+func fromPhase(p sim.PhaseTimes) PhaseTimes {
+	return PhaseTimes{
+		Sort: p.Sort, Domain: p.Domain,
+		TreeBuild: p.TreeBuild, TreeProps: p.TreeProps,
+		GravLocal: p.GravLocal, GravLET: p.GravLET,
+		NonHiddenComm: p.NonHiddenComm, Other: p.Other, Total: p.Total,
+	}
+}
+
+func fromStats(st sim.StepStats) StepStats {
+	return StepStats{
+		Step:          st.Step,
+		Ranks:         st.Ranks,
+		N:             st.N,
+		Times:         fromPhase(st.Times),
+		MaxTimes:      fromPhase(st.MaxTimes),
+		PP:            st.Grav.PP,
+		PC:            st.Grav.PC,
+		PPPerParticle: st.PPPerParticle,
+		PCPerParticle: st.PCPerParticle,
+		Flops:         st.Grav.Flops(),
+		LETsSent:      st.LETsSent,
+		BoundaryUsed:  st.BoundaryUsed,
+		BytesSent:     st.BytesSent,
+		WalkGflops:    st.WalkGflops,
+		AppGflops:     st.AppGflops,
+	}
+}

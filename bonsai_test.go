@@ -1,0 +1,250 @@
+package bonsai
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	parts := NewPlummer(2000, 1, 1, 1, 42)
+	s, err := New(Config{Ranks: 2, Softening: 0.05, DT: 1e-3}, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Step()
+	if st.N != 2000 || st.Ranks != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.PP == 0 || st.Flops <= 0 || st.AppGflops <= 0 {
+		t.Error("missing statistics")
+	}
+	if s.Time() <= 0 || s.StepCount() != 1 {
+		t.Error("time not advancing")
+	}
+	got := s.Particles()
+	if len(got) != 2000 {
+		t.Fatal("particles lost")
+	}
+	acc, pot := s.Accelerations()
+	if len(acc) != 2000 || len(pot) != 2000 {
+		t.Fatal("accelerations missing")
+	}
+	kin, potE := s.Energy()
+	if kin <= 0 || potE >= 0 {
+		t.Errorf("energy K=%v W=%v", kin, potE)
+	}
+}
+
+func TestPublicForcesMatchDirect(t *testing.T) {
+	parts := NewPlummer(1500, 1, 1, 1, 7)
+	s, err := New(Config{Ranks: 3, Softening: 0.05, Theta: 0.4}, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ComputeForces()
+	got, _ := s.Accelerations()
+	// Particles() after ComputeForces have unchanged positions.
+	want, _ := DirectForces(s.Particles(), 0.05)
+	var sum2, ref2 float64
+	for i := range got {
+		dx := got[i].X - want[i].X
+		dy := got[i].Y - want[i].Y
+		dz := got[i].Z - want[i].Z
+		sum2 += dx*dx + dy*dy + dz*dz
+		ref2 += want[i].X*want[i].X + want[i].Y*want[i].Y + want[i].Z*want[i].Z
+	}
+	if rms := math.Sqrt(sum2 / ref2); rms > 2e-3 {
+		t.Errorf("rms force error vs direct: %v", rms)
+	}
+}
+
+func TestMilkyWayPublicAPI(t *testing.T) {
+	model := MilkyWayModel()
+	if model.HaloMass != 60 || model.DiskMass != 5 || model.BulgeMass != 0.46 {
+		t.Fatalf("paper masses wrong: %+v", model)
+	}
+	const n = 20000
+	parts := model.Realize(n, 1, 2)
+	if len(parts) != n {
+		t.Fatal("count")
+	}
+	nb, nd, nh := model.Counts(n)
+	if nb+nd+nh != n {
+		t.Fatal("component counts")
+	}
+	// Filters select disjoint covering subsets.
+	total := 0
+	for _, c := range []GalaxyComponent{Bulge, Disk, Halo} {
+		f := ComponentFilter(model, n, c)
+		cnt := 0
+		for _, p := range parts {
+			if f(p) {
+				cnt++
+			}
+		}
+		total += cnt
+		if cnt == 0 {
+			t.Errorf("component %v empty", c)
+		}
+	}
+	if total != n {
+		t.Errorf("filters cover %d of %d", total, n)
+	}
+	if Bulge.String() != "bulge" || Disk.String() != "disk" || Halo.String() != "halo" {
+		t.Error("component names")
+	}
+}
+
+func TestAnalysisPublicAPI(t *testing.T) {
+	model := MilkyWayModel()
+	const n = 30000
+	parts := model.Realize(n, 3, 2)
+	diskF := ComponentFilter(model, n, Disk)
+
+	m := SurfaceDensity(parts, diskF, 15, 32)
+	if m.Bins() != 32 || m.Total() <= 0 {
+		t.Fatal("density map empty")
+	}
+	var buf bytes.Buffer
+	if err := m.RenderPGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P2\n") {
+		t.Fatal("not a PGM")
+	}
+
+	a2, _ := BarStrength(parts, diskF, 5)
+	if a2 < 0 || a2 > 0.2 {
+		t.Errorf("fresh axisymmetric disk A2 = %v", a2)
+	}
+
+	h := SolarNeighborhood(parts, diskF, Vec3{X: 8}, 1.0, 150, 20)
+	if h.Stars() == 0 {
+		t.Fatal("no solar-neighbourhood stars")
+	}
+	if h.MeanRotation() < 100 {
+		t.Errorf("rotation %v too slow", h.MeanRotation())
+	}
+	if h.Bins() != 20 {
+		t.Error("bins")
+	}
+	sum := 0
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			sum += h.Count(i, j)
+		}
+	}
+	if sum == 0 {
+		t.Error("histogram empty")
+	}
+
+	prof := RadialProfile(parts, diskF, 20, 10)
+	if len(prof) != 10 || prof[1] <= prof[8] {
+		t.Errorf("disk profile not declining: %v", prof)
+	}
+	if z := DiskThickness(parts, diskF); z <= 0 || z > 2 {
+		t.Errorf("thickness %v", z)
+	}
+	if s := VelocityDispersion(parts, diskF, 7, 9); s <= 0 || s > 200 {
+		t.Errorf("dispersion %v", s)
+	}
+}
+
+func TestSnapshotPublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.bin")
+	parts := NewPlummer(300, 1, 1, 1, 9)
+	if err := SaveSnapshot(path, 1.5, 10, parts); err != nil {
+		t.Fatal(err)
+	}
+	tm, step, got, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm != 1.5 || step != 10 || len(got) != 300 {
+		t.Fatalf("loaded %v %v %d", tm, step, len(got))
+	}
+	for i := range parts {
+		if got[i] != parts[i] {
+			t.Fatalf("particle %d differs", i)
+		}
+	}
+}
+
+func TestUnitsPublicAPI(t *testing.T) {
+	if math.Abs(Gyr(FromGyr(6))-6) > 1e-12 {
+		t.Error("time conversion")
+	}
+	// The paper's softening: 1 pc at 51.2e9 particles.
+	if eps := SofteningForN(51_200_000_000); math.Abs(eps-0.001) > 1e-6 {
+		t.Errorf("softening %v", eps)
+	}
+	if G < 43006 || G > 43008 {
+		t.Errorf("G = %v", G)
+	}
+}
+
+func TestEnergyConservationPublic(t *testing.T) {
+	parts := NewPlummer(1500, 1, 1, 1, 11)
+	s, err := New(Config{Ranks: 2, Softening: 0.05, DT: 2e-3, Theta: 0.3}, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	k0, p0 := s.Energy()
+	s.Run(24)
+	k1, p1 := s.Energy()
+	drift := math.Abs((k1 + p1 - k0 - p0) / (k0 + p0))
+	if drift > 3e-3 {
+		t.Errorf("energy drift %v", drift)
+	}
+}
+
+func TestStaticHaloPublicAPI(t *testing.T) {
+	model := MilkyWayModel()
+	const n = 3000
+	disk := model.RealizeDiskOnly(n, 5, 2)
+	if len(disk) != n {
+		t.Fatal("count")
+	}
+	var mass float64
+	for _, p := range disk {
+		mass += p.Mass
+	}
+	if math.Abs(mass-model.DiskMass) > 1e-9*model.DiskMass {
+		t.Errorf("disk-only mass %v", mass)
+	}
+
+	field := model.StaticHalo()
+	// Attractive, radial, finite at centre.
+	a, pot := field(Vec3{X: 10})
+	if a.X >= 0 || a.Y != 0 || a.Z != 0 || pot >= 0 {
+		t.Errorf("field at x=10: %+v pot %v", a, pot)
+	}
+	if a0, p0 := field(Vec3{}); math.IsNaN(p0) || a0 != (Vec3{}) {
+		t.Errorf("central field %v %v", a0, p0)
+	}
+
+	// The live disk orbits stably in the static halo.
+	s, err := New(Config{
+		Ranks: 2, Theta: 0.4, Softening: 0.05,
+		DT:        SuggestedDT(40000),
+		GravConst: G,
+		External:  field,
+	}, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5)
+	rc := RotationCurve(s.Particles(), nil, 16, 4)
+	if rc[2] < 120 {
+		t.Errorf("disk stopped rotating in static halo: vc ~ %v", rc[2])
+	}
+	kin, potE := s.Energy()
+	if kin <= 0 || potE >= 0 {
+		t.Errorf("energy bookkeeping with external field: K=%v W=%v", kin, potE)
+	}
+}

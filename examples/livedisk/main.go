@@ -1,0 +1,76 @@
+// Live disk: the paper's §I taxonomy of galaxy simulations, side by side.
+//
+// "Type 1": an analytic, static dark-halo potential with a live (N-body)
+// disk — cheap, accurate for the disk, but blind to disk-halo interaction.
+// "Type 2": everything live, which is what the paper's production runs do,
+// because "angular momentum transfer from disk to halo plays an important
+// role in the formation and evolution of the bar" — at the price of ~13x
+// more particles for the same disk sampling.
+//
+// This example runs both configurations with identical disk sampling and
+// prints the per-step cost and disk diagnostics of each.
+//
+//	go run ./examples/livedisk
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"bonsai"
+)
+
+func main() {
+	var (
+		nDisk = flag.Int("ndisk", 6_000, "disk particles (same in both setups)")
+		steps = flag.Int("steps", 30, "leapfrog steps per setup")
+	)
+	flag.Parse()
+
+	model := bonsai.MilkyWayModel()
+	totalMass := model.HaloMass + model.DiskMass + model.BulgeMass
+	// The fully live model needs n such that its disk share equals nDisk.
+	nLive := int(float64(*nDisk) * totalMass / model.DiskMass)
+
+	fmt.Printf("disk sampling: %d particles in both setups\n", *nDisk)
+	fmt.Printf("type 1 (static halo): %d total particles\n", *nDisk)
+	fmt.Printf("type 2 (live halo):   %d total particles (%.1fx more)\n\n",
+		nLive, float64(nLive)/float64(*nDisk))
+
+	run := func(label string, parts []bonsai.Particle, ext bonsai.ExternalField, diskF bonsai.Filter) {
+		s, err := bonsai.New(bonsai.Config{
+			Ranks:     2,
+			Theta:     0.4,
+			Softening: 0.05,
+			DT:        bonsai.SuggestedDT(nLive),
+			GravConst: bonsai.G,
+			External:  ext,
+		}, parts)
+		if err != nil {
+			panic(err)
+		}
+		st := s.ComputeForces()
+		s.Run(*steps)
+		cur := s.Particles()
+		sig := bonsai.VelocityDispersion(cur, diskF, 3, 10)
+		z := bonsai.DiskThickness(cur, diskF)
+		rc := bonsai.RotationCurve(cur, diskF, 16, 4)
+		fmt.Printf("%-22s step %6.0f ms  interactions/particle %5.0f pp + %5.0f pc\n",
+			label, st.MaxTimes.Total.Seconds()*1e3, st.PPPerParticle, st.PCPerParticle)
+		fmt.Printf("%-22s after %d steps: sigmaR(3-10)=%.1f km/s, z_rms=%.2f kpc, vc(6,10,14 kpc)=%.0f/%.0f/%.0f km/s\n\n",
+			"", *steps, sig, z, rc[1], rc[2], rc[3])
+	}
+
+	// Type 1: live disk in the analytic halo+bulge field.
+	disk := model.RealizeDiskOnly(*nDisk, 42, 0)
+	run("type 1 static halo:", disk, model.StaticHalo(), nil)
+
+	// Type 2: everything live.
+	live := model.Realize(nLive, 42, 0)
+	diskF := bonsai.ComponentFilter(model, nLive, bonsai.Disk)
+	run("type 2 live halo:", live, nil, diskF)
+
+	fmt.Println("type 1 gives the same disk for a fraction of the cost — but only type 2")
+	fmt.Println("carries the disk-to-halo angular momentum transfer that shapes the bar,")
+	fmt.Println("which is why the paper simulates the halo live (§I).")
+}

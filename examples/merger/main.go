@@ -1,0 +1,134 @@
+// Merger: a galaxy collision, the workload of the authors' earlier Bonsai
+// science (Bédorf & Portegies Zwart 2013, the paper's ref. [13]: "the effect
+// of many minor mergers on the size growth of compact quiescent galaxies").
+//
+// Two Plummer galaxies — a massive primary and a 1:10 satellite — fall
+// together on a mildly eccentric orbit. The run tracks the separation of the
+// density centres, the primary's half-mass radius (the size growth the
+// reference measures), and energy conservation through the violent phase.
+//
+//	go run ./examples/merger
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"sort"
+
+	"bonsai"
+)
+
+func main() {
+	var (
+		nPrimary = flag.Int("n", 8_000, "primary galaxy particles")
+		steps    = flag.Int("steps", 300, "leapfrog steps")
+	)
+	flag.Parse()
+
+	// Primary: mass 1, scale radius 1 (model units). Satellite: 1:10 mass,
+	// more compact, starting 6 radii out with ~60% of the parabolic speed.
+	primary := bonsai.NewPlummer(*nPrimary, 1.0, 1.0, 1, 1)
+	nSat := *nPrimary / 10
+	satellite := bonsai.NewPlummer(nSat, 0.1, 0.4, 1, 2)
+
+	var parts []bonsai.Particle
+	parts = append(parts, primary...)
+	vApproach := 0.6 * math.Sqrt(2*1.1/6.0)
+	for _, p := range satellite {
+		p.ID += int64(*nPrimary)
+		p.Pos.X += 6
+		p.Pos.Y += 1.5 // impact parameter
+		p.Vel.X -= vApproach
+		parts = append(parts, p)
+	}
+
+	s, err := bonsai.New(bonsai.Config{
+		Ranks:     4,
+		Theta:     0.4,
+		Softening: 0.05,
+		DT:        5e-3,
+	}, parts)
+	if err != nil {
+		panic(err)
+	}
+
+	isPrimary := func(p bonsai.Particle) bool { return p.ID < int64(*nPrimary) }
+	isSat := func(p bonsai.Particle) bool { return !isPrimary(p) }
+
+	fmt.Printf("primary: %d particles (M=1, a=1); satellite: %d (M=0.1, a=0.4), 1:10 merger\n",
+		*nPrimary, nSat)
+	fmt.Printf("%8s %10s %12s %14s %14s\n",
+		"step", "t", "separation", "r_half(prim)", "E total")
+
+	s.Step()
+	k0, p0 := s.Energy()
+	report := func() {
+		cur := s.Particles()
+		sep := centerOf(cur, isSat).subNorm(centerOf(cur, isPrimary))
+		rh := halfMassRadius(cur, isPrimary)
+		k, p := s.Energy()
+		fmt.Printf("%8d %10.3f %12.3f %14.3f %14.6f\n",
+			s.StepCount(), s.Time(), sep, rh, k+p)
+	}
+	report()
+	chunk := *steps / 10
+	if chunk < 1 {
+		chunk = 1
+	}
+	for done := 0; done < *steps; done += chunk {
+		s.Run(min(chunk, *steps-done))
+		report()
+	}
+	k1, p1 := s.Energy()
+	fmt.Printf("\nenergy drift through the merger: %.2e\n", math.Abs((k1+p1-k0-p0)/(k0+p0)))
+	fmt.Println("ref [13] measures the primary's size growth from repeated accretion")
+	fmt.Println("events like this one; watch r_half(prim) rise as the satellite is")
+	fmt.Println("absorbed and its stars settle into the outer envelope.")
+}
+
+type pt struct{ x, y, z float64 }
+
+func (a pt) subNorm(b pt) float64 {
+	dx, dy, dz := a.x-b.x, a.y-b.y, a.z-b.z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// centerOf returns the mass-weighted centre of the selected particles.
+func centerOf(parts []bonsai.Particle, sel func(bonsai.Particle) bool) pt {
+	var c pt
+	var m float64
+	for _, p := range parts {
+		if !sel(p) {
+			continue
+		}
+		c.x += p.Mass * p.Pos.X
+		c.y += p.Mass * p.Pos.Y
+		c.z += p.Mass * p.Pos.Z
+		m += p.Mass
+	}
+	if m > 0 {
+		c.x /= m
+		c.y /= m
+		c.z /= m
+	}
+	return c
+}
+
+// halfMassRadius returns the median distance of selected particles from
+// their own centre.
+func halfMassRadius(parts []bonsai.Particle, sel func(bonsai.Particle) bool) float64 {
+	c := centerOf(parts, sel)
+	var rs []float64
+	for _, p := range parts {
+		if !sel(p) {
+			continue
+		}
+		rs = append(rs, pt{p.Pos.X, p.Pos.Y, p.Pos.Z}.subNorm(c))
+	}
+	if len(rs) == 0 {
+		return 0
+	}
+	sort.Float64s(rs)
+	return rs[len(rs)/2]
+}

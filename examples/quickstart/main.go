@@ -1,0 +1,73 @@
+// Quickstart: the smallest complete tree-code run.
+//
+// It generates an equilibrium Plummer sphere, evolves it with the
+// distributed Barnes–Hut pipeline on four simulated ranks, verifies the
+// tree forces against direct summation, and watches energy conservation —
+// the three checks every N-body user performs first.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"bonsai"
+)
+
+func main() {
+	const n = 10_000
+	fmt.Printf("Plummer sphere, N=%d, model units (G=M=a=1)\n", n)
+	parts := bonsai.NewPlummer(n, 1, 1, 1, 42)
+
+	s, err := bonsai.New(bonsai.Config{
+		Ranks:     4,    // four simulated GPU nodes
+		Theta:     0.4,  // the paper's opening angle
+		Softening: 0.02, // Plummer softening
+		DT:        0.01, // ~1% of the dynamical time
+	}, parts)
+	if err != nil {
+		panic(err)
+	}
+
+	// --- Accuracy: tree forces vs direct O(N²) summation.
+	st := s.ComputeForces()
+	treeAcc, _ := s.Accelerations()
+	directAcc, _ := bonsai.DirectForces(s.Particles(), 0.02)
+	var err2, ref2 float64
+	for i := range treeAcc {
+		dx := treeAcc[i].X - directAcc[i].X
+		dy := treeAcc[i].Y - directAcc[i].Y
+		dz := treeAcc[i].Z - directAcc[i].Z
+		err2 += dx*dx + dy*dy + dz*dz
+		ref2 += directAcc[i].X*directAcc[i].X + directAcc[i].Y*directAcc[i].Y + directAcc[i].Z*directAcc[i].Z
+	}
+	fmt.Printf("force accuracy vs direct summation: rms relative error %.2e (theta=0.4)\n",
+		math.Sqrt(err2/ref2))
+	fmt.Printf("interactions per particle: %.0f p-p, %.0f p-c (%0.2f Gflop per step)\n",
+		st.PPPerParticle, st.PCPerParticle, st.Flops/1e9)
+
+	// --- Evolution: energy conservation over 100 steps.
+	s.Step()
+	k0, p0 := s.Energy()
+	fmt.Printf("\n%6s %12s %12s %12s %10s\n", "step", "kinetic", "potential", "E total", "dE/E")
+	for i := 0; i < 100; i++ {
+		s.Step()
+		if (i+1)%20 == 0 {
+			k, p := s.Energy()
+			fmt.Printf("%6d %12.6f %12.6f %12.6f %10.2e\n",
+				s.StepCount(), k, p, k+p, (k+p-k0-p0)/(k0+p0))
+		}
+	}
+
+	// --- The virial ratio of an equilibrium sphere stays near unity.
+	k, p := s.Energy()
+	fmt.Printf("\nvirial ratio 2K/|W| = %.3f (equilibrium: 1.0)\n", 2*k/math.Abs(p))
+	fmt.Printf("momentum drift |P| = %.2e\n", norm(s.Momentum()))
+	fmt.Printf("communication total: %.1f MB over %d steps\n",
+		float64(s.CommBytes())/1e6, s.StepCount())
+}
+
+func norm(v bonsai.Vec3) float64 {
+	return math.Sqrt(v.X*v.X + v.Y*v.Y + v.Z*v.Z)
+}

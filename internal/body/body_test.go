@@ -1,0 +1,37 @@
+package body
+
+import (
+	"testing"
+
+	"bonsai/internal/vec"
+)
+
+func TestBoundsEmptyAndSingle(t *testing.T) {
+	if !Bounds(nil).Empty() {
+		t.Error("empty set should give empty box")
+	}
+	b := Bounds([]Particle{{Pos: vec.V3{X: 1, Y: 2, Z: 3}}})
+	if b.Min != (vec.V3{X: 1, Y: 2, Z: 3}) || b.Max != b.Min {
+		t.Errorf("single-particle bounds %+v", b)
+	}
+}
+
+func TestCenterOfMassWeighting(t *testing.T) {
+	ps := []Particle{
+		{Pos: vec.V3{X: 0}, Mass: 3},
+		{Pos: vec.V3{X: 4}, Mass: 1},
+	}
+	if com := CenterOfMass(ps); com.X != 1 {
+		t.Errorf("com %v, want x=1", com)
+	}
+	if CenterOfMass(nil) != (vec.V3{}) {
+		t.Error("empty com should be zero")
+	}
+}
+
+func TestWireBytesMatchesFieldCount(t *testing.T) {
+	// 3 pos + 3 vel + mass + weight + id = 9 words.
+	if WireBytes != 9*8 {
+		t.Errorf("WireBytes = %d", WireBytes)
+	}
+}

@@ -1,0 +1,29 @@
+package device
+
+// Memory capacity of the modeled devices. Table I lists 5.4 GB of usable
+// GPU RAM with ECC enabled; §VI.B states that up to 20 million particles
+// fit on one K20X while the production runs use ~13M, and §VII notes that
+// a 12 GB K40 would roughly double the capacity.
+
+// MemBytes returns the usable device memory (ECC on) in bytes.
+func (s Spec) MemBytes() int64 {
+	gib := 5.0
+	switch s.Name {
+	case "K20X", "C2075":
+		gib = 5.4 // Table I: ECC enabled
+	}
+	return int64(gib * float64(1<<30))
+}
+
+// BytesPerParticle is the device-resident footprint of one particle in the
+// tree-code: position+velocity+acceleration (4-float vectors on the GPU,
+// 16B each), two key/sort buffers, tree-cell amortization and scratch.
+// Chosen so the K20X capacity matches the paper's stated 20M-particle
+// ceiling.
+const BytesPerParticle = 286
+
+// MaxParticles returns how many particles fit on the device, the quantity
+// that sets the weak-scaling operating point (13M used of ~20M possible).
+func (s Spec) MaxParticles() int {
+	return int(s.MemBytes() / BytesPerParticle)
+}

@@ -1,0 +1,24 @@
+package device
+
+import "testing"
+
+func TestK20XCapacityMatchesPaper(t *testing.T) {
+	// §VI.B: "It is possible to do runs with up to 20 million particles per
+	// K20X"; the production runs use 13M of it.
+	max := K20X().MaxParticles()
+	if max < 19_000_000 || max > 21_500_000 {
+		t.Errorf("K20X capacity %d particles, paper says ~20M", max)
+	}
+	if max < 13_000_000 {
+		t.Error("production operating point would not fit")
+	}
+}
+
+func TestMemBytesECC(t *testing.T) {
+	// Table I: 5.4 GB with ECC enabled on both devices.
+	f := 5.4 * float64(1<<30)
+	want := int64(f)
+	if K20X().MemBytes() != want || C2075().MemBytes() != want {
+		t.Error("Table I ECC memory size wrong")
+	}
+}

@@ -1,0 +1,105 @@
+// Package direct implements the O(N²) direct-summation N-body force
+// calculation. It serves two roles from the paper:
+//
+//   - the comparator kernel of Fig. 1 ("Direct N-body", NVIDIA SDK style),
+//     tiled the same way the CUDA sample tiles shared memory, and
+//   - the accuracy referee against which the tree-code's multipole
+//     approximation errors are measured.
+package direct
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"bonsai/internal/grav"
+	"bonsai/internal/vec"
+)
+
+// Tile is the tile size of the blocked evaluation, mirroring the CUDA
+// sample's shared-memory tile (one thread block of sources at a time).
+const Tile = 256
+
+// Forces computes softened gravitational accelerations and potentials for
+// all particles by direct summation, in parallel over target blocks. The
+// self-interaction (i == j) is excluded, so potentials are exact.
+// workers <= 0 selects GOMAXPROCS.
+func Forces(pos []vec.V3, mass []float64, eps2 float64, workers int) ([]vec.V3, []float64, grav.Stats) {
+	n := len(pos)
+	acc := make([]vec.V3, n)
+	pot := make([]float64, n)
+	st := AccumulateForces(pos, mass, eps2, workers, acc, pot)
+	return acc, pot, st
+}
+
+// AccumulateForces is like Forces but adds into caller-provided slices.
+func AccumulateForces(pos []vec.V3, mass []float64, eps2 float64, workers int, acc []vec.V3, pot []float64) grav.Stats {
+	n := len(pos)
+	if n == 0 {
+		return grav.Stats{}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			// Tiled loop over sources for cache locality.
+			for t0 := 0; t0 < n; t0 += Tile {
+				t1 := t0 + Tile
+				if t1 > n {
+					t1 = n
+				}
+				for i := lo; i < hi; i++ {
+					pi := pos[i]
+					var ax, ay, az, ph float64
+					for j := t0; j < t1; j++ {
+						if i == j {
+							continue
+						}
+						dx := pos[j].X - pi.X
+						dy := pos[j].Y - pi.Y
+						dz := pos[j].Z - pi.Z
+						r2 := dx*dx + dy*dy + dz*dz + eps2
+						rinv := 1 / math.Sqrt(r2)
+						mrinv3 := mass[j] * rinv * rinv * rinv
+						ax += dx * mrinv3
+						ay += dy * mrinv3
+						az += dz * mrinv3
+						ph -= mass[j] * rinv
+					}
+					acc[i] = acc[i].Add(vec.V3{X: ax, Y: ay, Z: az})
+					pot[i] += ph
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return grav.Stats{PP: uint64(n) * uint64(n-1)}
+}
+
+// Energy returns the total kinetic and potential energy of the system given
+// velocities and the potentials returned by Forces. The pairwise potential
+// is halved to avoid double counting.
+func Energy(vel []vec.V3, mass []float64, pot []float64) (kin, potE float64) {
+	for i := range vel {
+		kin += 0.5 * mass[i] * vel[i].Norm2()
+		potE += 0.5 * mass[i] * pot[i]
+	}
+	return kin, potE
+}

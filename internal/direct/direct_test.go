@@ -1,0 +1,121 @@
+package direct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bonsai/internal/grav"
+	"bonsai/internal/vec"
+)
+
+func cloud(n int, seed int64) ([]vec.V3, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([]vec.V3, n)
+	mass := make([]float64, n)
+	for i := range pos {
+		pos[i] = vec.V3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		mass[i] = 0.5 + rng.Float64()
+	}
+	return pos, mass
+}
+
+func TestForcesMatchKernelReference(t *testing.T) {
+	// The tiled kernel must equal the naive per-pair evaluation via grav.PP.
+	pos, mass := cloud(300, 1)
+	eps2 := 1e-3
+	acc, pot, st := Forces(pos, mass, eps2, 4)
+	for i := range pos {
+		var want grav.Force
+		for j := range pos {
+			if i == j {
+				continue
+			}
+			want.Add(grav.PP(pos[i], pos[j], mass[j], eps2))
+		}
+		if acc[i].Sub(want.Acc).Norm() > 1e-12*(1+want.Acc.Norm()) {
+			t.Fatalf("acc[%d] = %v, want %v", i, acc[i], want.Acc)
+		}
+		if math.Abs(pot[i]-want.Pot) > 1e-12*(1+math.Abs(want.Pot)) {
+			t.Fatalf("pot[%d] = %v, want %v", i, pot[i], want.Pot)
+		}
+	}
+	if st.PP != uint64(len(pos))*uint64(len(pos)-1) {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestForcesWorkerInvariance(t *testing.T) {
+	pos, mass := cloud(500, 2)
+	ref, refPot, _ := Forces(pos, mass, 1e-4, 1)
+	for _, w := range []int{2, 3, 8, 0} {
+		acc, pot, _ := Forces(pos, mass, 1e-4, w)
+		for i := range acc {
+			if acc[i].Sub(ref[i]).Norm() > 1e-13*(1+ref[i].Norm()) {
+				t.Fatalf("workers=%d differ at %d", w, i)
+			}
+			if math.Abs(pot[i]-refPot[i]) > 1e-13*(1+math.Abs(refPot[i])) {
+				t.Fatalf("workers=%d pot differ at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	// Σ m_i a_i = 0 for an isolated system (Newton's third law).
+	pos, mass := cloud(400, 3)
+	acc, _, _ := Forces(pos, mass, 1e-4, 0)
+	var p vec.V3
+	var scale float64
+	for i := range acc {
+		p = p.Add(acc[i].Scale(mass[i]))
+		scale += acc[i].Norm() * mass[i]
+	}
+	if p.Norm() > 1e-11*scale {
+		t.Errorf("net force %v not ~0 (scale %v)", p, scale)
+	}
+}
+
+func TestEnergyVirialOfTwoBody(t *testing.T) {
+	// Two unit masses at separation 1 on a circular orbit (G=1): each moves
+	// at v = sqrt(1/2), so K = 0.5, W = -1 and the virial 2K + W = 0.
+	pos := []vec.V3{{X: -0.5}, {X: 0.5}}
+	mass := []float64{1, 1}
+	v := math.Sqrt(0.5)
+	vel := []vec.V3{{Y: -v}, {Y: v}}
+	_, pot, _ := Forces(pos, mass, 0, 1)
+	kin, w := Energy(vel, mass, pot)
+	if math.Abs(w-(-1)) > 1e-12 {
+		t.Errorf("W = %v, want -1", w)
+	}
+	if math.Abs(kin-0.5) > 1e-12 {
+		t.Errorf("K = %v, want 0.5", kin)
+	}
+	if math.Abs(2*kin+w) > 1e-12 {
+		t.Errorf("virial 2K+W = %v, want 0", 2*kin+w)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	acc, pot, st := Forces(nil, nil, 1e-4, 4)
+	if len(acc) != 0 || len(pot) != 0 || st.PP != 0 {
+		t.Fatal("empty input mishandled")
+	}
+}
+
+func TestSingleParticle(t *testing.T) {
+	acc, pot, _ := Forces([]vec.V3{{X: 1}}, []float64{5}, 1e-4, 4)
+	if acc[0] != (vec.V3{}) || pot[0] != 0 {
+		t.Fatalf("single particle should feel nothing: %v %v", acc[0], pot[0])
+	}
+}
+
+func BenchmarkDirect4096(b *testing.B) {
+	pos, mass := cloud(4096, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forces(pos, mass, 1e-4, 0)
+	}
+	n := float64(len(pos))
+	b.ReportMetric(n*(n-1)*grav.FlopsPP/1e9, "Gflop/op")
+}

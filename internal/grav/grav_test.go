@@ -1,0 +1,225 @@
+package grav
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bonsai/internal/vec"
+)
+
+func TestPPInverseSquare(t *testing.T) {
+	// Unsoftened: |a| = m/r², pot = -m/r, direction toward the source.
+	f := PP(vec.V3{}, vec.V3{X: 2}, 8, 0)
+	if math.Abs(f.Acc.X-2) > 1e-12 || f.Acc.Y != 0 || f.Acc.Z != 0 {
+		t.Errorf("acc = %v, want (2,0,0)", f.Acc)
+	}
+	if math.Abs(f.Pot+4) > 1e-12 {
+		t.Errorf("pot = %v, want -4", f.Pot)
+	}
+}
+
+func TestPPNewtonThirdLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		pi := vec.V3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		pj := vec.V3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		mi, mj := 1+rng.Float64(), 1+rng.Float64()
+		fi := PP(pi, pj, mj, 0.01)
+		fj := PP(pj, pi, mi, 0.01)
+		// mi*ai = -mj*aj
+		lhs := fi.Acc.Scale(mi)
+		rhs := fj.Acc.Scale(-mj)
+		if lhs.Sub(rhs).Norm() > 1e-12*(lhs.Norm()+1) {
+			t.Fatalf("third law violated: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestPPSofteningBoundsForce(t *testing.T) {
+	// At zero separation the softened force must be zero and the potential
+	// -m/eps.
+	f := PP(vec.V3{X: 1}, vec.V3{X: 1}, 3, 0.25)
+	if f.Acc.Norm() != 0 {
+		t.Errorf("acc at zero separation = %v", f.Acc)
+	}
+	if math.Abs(f.Pot+3/0.5) > 1e-12 {
+		t.Errorf("pot = %v, want %v", f.Pot, -3/0.5)
+	}
+}
+
+// numericGrad computes -∇φ by central differences of the PC potential.
+func numericGrad(pi vec.V3, c Multipole, eps2 float64) vec.V3 {
+	const h = 1e-5
+	dphi := func(d vec.V3) float64 {
+		fp := PC(pi.Add(d), c, eps2)
+		fm := PC(pi.Sub(d), c, eps2)
+		return (fp.Pot - fm.Pot) / (2 * h)
+	}
+	return vec.V3{
+		X: -dphi(vec.V3{X: h}),
+		Y: -dphi(vec.V3{Y: h}),
+		Z: -dphi(vec.V3{Z: h}),
+	}
+}
+
+func TestPCAccelerationIsGradientOfPotential(t *testing.T) {
+	// Eq. (2) must be exactly -∇ of eq. (1); validated numerically. This only
+	// holds for the unsoftened kernel (the Plummer-softened quadrupole terms
+	// are not the exact gradient, matching standard practice), so eps2 = 0.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		c := Multipole{
+			COM: vec.V3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()},
+			M:   1 + rng.Float64(),
+			Quad: vec.Outer(0.1+rng.Float64(), vec.V3{
+				X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64(),
+			}),
+		}
+		pi := c.COM.Add(vec.V3{X: 3 + rng.Float64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()})
+		got := PC(pi, c, 0).Acc
+		want := numericGrad(pi, c, 0)
+		if got.Sub(want).Norm() > 1e-5*(1+want.Norm()) {
+			t.Fatalf("acc %v != -grad pot %v", got, want)
+		}
+	}
+}
+
+func TestPCMonopoleOnlyEqualsPP(t *testing.T) {
+	// A cell with zero quadrupole is exactly a point mass at the COM.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		com := vec.V3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		pi := vec.V3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		m := 1 + rng.Float64()
+		eps2 := rng.Float64()
+		fc := PC(pi, Multipole{COM: com, M: m}, eps2)
+		fp := PP(pi, com, m, eps2)
+		if fc.Acc.Sub(fp.Acc).Norm() > 1e-13*(1+fp.Acc.Norm()) ||
+			math.Abs(fc.Pot-fp.Pot) > 1e-13*(1+math.Abs(fp.Pot)) {
+			t.Fatalf("monopole-only PC != PP: %+v vs %+v", fc, fp)
+		}
+	}
+}
+
+// clusterMultipole builds the exact multipole expansion of a particle cluster.
+func clusterMultipole(pos []vec.V3, m []float64) Multipole {
+	var mp Multipole
+	for k := range pos {
+		mp.M += m[k]
+		mp.COM = mp.COM.Add(pos[k].Scale(m[k]))
+	}
+	mp.COM = mp.COM.Scale(1 / mp.M)
+	for k := range pos {
+		d := pos[k].Sub(mp.COM)
+		mp.Quad = mp.Quad.Add(vec.Outer(m[k], d))
+	}
+	return mp
+}
+
+func TestQuadrupoleImprovesOnMonopole(t *testing.T) {
+	// For a distant anisotropic cluster, the quadrupole expansion must be
+	// significantly more accurate than the monopole alone, and converge as
+	// the cluster recedes.
+	rng := rand.New(rand.NewSource(4))
+	n := 64
+	pos := make([]vec.V3, n)
+	mass := make([]float64, n)
+	for k := range pos {
+		// Flattened anisotropic cluster (strong quadrupole moment).
+		pos[k] = vec.V3{X: rng.NormFloat64(), Y: 0.3 * rng.NormFloat64(), Z: 0.1 * rng.NormFloat64()}
+		mass[k] = 0.5 + rng.Float64()
+	}
+	mp := clusterMultipole(pos, mass)
+	mono := Multipole{COM: mp.COM, M: mp.M}
+
+	var prevQuadErr float64
+	for i, dist := range []float64{8.0, 16.0, 32.0} {
+		pi := vec.V3{X: dist, Y: dist / 3, Z: dist / 2}
+		exact := AccumulatePP(pi, pos, mass, 0, nil)
+		fQuad := PC(pi, mp, 0)
+		fMono := PC(pi, mono, 0)
+		quadErr := fQuad.Acc.Sub(exact.Acc).Norm() / exact.Acc.Norm()
+		monoErr := fMono.Acc.Sub(exact.Acc).Norm() / exact.Acc.Norm()
+		if quadErr > 0.5*monoErr {
+			t.Errorf("dist %v: quad err %v not much better than mono err %v", dist, quadErr, monoErr)
+		}
+		if i > 0 && quadErr > prevQuadErr {
+			t.Errorf("quadrupole error not decreasing with distance: %v -> %v", prevQuadErr, quadErr)
+		}
+		prevQuadErr = quadErr
+	}
+}
+
+func TestStatsFlops(t *testing.T) {
+	s := Stats{PP: 100, PC: 10}
+	if got := s.Flops(); got != 100*23+10*65 {
+		t.Errorf("Flops = %v", got)
+	}
+	if got := s.FlopsLegacy(); got != 100*38+10*65 {
+		t.Errorf("FlopsLegacy = %v", got)
+	}
+	var a Stats
+	a.Add(s)
+	a.Add(s)
+	if a.PP != 200 || a.PC != 20 {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestAccumulateCounts(t *testing.T) {
+	pos := []vec.V3{{X: 1}, {X: 2}, {X: 3}}
+	m := []float64{1, 1, 1}
+	var st Stats
+	AccumulatePP(vec.V3{}, pos, m, 0.01, &st)
+	AccumulatePC(vec.V3{}, []Multipole{{COM: vec.V3{X: 5}, M: 3}}, 0.01, &st)
+	if st.PP != 3 || st.PC != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAccumulatePPSelfSkip(t *testing.T) {
+	// With eps2 == 0 a source exactly at the target is skipped.
+	pos := []vec.V3{{X: 1}, {}}
+	m := []float64{1, 1}
+	f := AccumulatePP(vec.V3{}, pos, m, 0, nil)
+	if !f.Acc.IsFinite() || math.IsNaN(f.Pot) {
+		t.Fatalf("self interaction not skipped: %+v", f)
+	}
+}
+
+var sinkForce Force
+
+func BenchmarkPPKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1024
+	pos := make([]vec.V3, n)
+	m := make([]float64, n)
+	for i := range pos {
+		pos[i] = vec.V3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		m[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkForce = AccumulatePP(vec.V3{X: 0.1}, pos, m, 0.01, nil)
+	}
+	b.ReportMetric(float64(n*FlopsPP), "flops/op")
+}
+
+func BenchmarkPCKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1024
+	cells := make([]Multipole, n)
+	for i := range cells {
+		cells[i] = Multipole{
+			COM:  vec.V3{X: 5 + rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()},
+			M:    1,
+			Quad: vec.Outer(1, vec.V3{X: 0.3, Y: 0.2, Z: 0.1}),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkForce = AccumulatePC(vec.V3{X: 0.1}, cells, 0.01, nil)
+	}
+	b.ReportMetric(float64(n*FlopsPC), "flops/op")
+}

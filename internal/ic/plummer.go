@@ -1,0 +1,79 @@
+// Package ic generates initial conditions. It provides the Plummer sphere
+// (the standard test model) and a GalactICS-style Milky Way model — NFW dark
+// halo, Hernquist bulge and exponential stellar disk with equal-mass
+// particles — matching the composition of the paper's 51- and 242-billion
+// particle production models (§IV).
+//
+// Generation is deterministic for a given seed and embarrassingly parallel:
+// disjoint particle index ranges can be generated independently (each chunk
+// derives its own RNG stream), which is how the paper avoids start-up I/O by
+// creating its initial conditions "on the fly" on every rank.
+package ic
+
+import (
+	"math"
+	"math/rand"
+
+	"bonsai/internal/body"
+	"bonsai/internal/vec"
+)
+
+// Plummer samples an isotropic equilibrium Plummer sphere with total mass
+// total, scale radius a, and G as given (use 1 for model units or units.G
+// for galactic units). Particle IDs are 0..n-1.
+func Plummer(n int, total, a, g float64, seed int64) []body.Particle {
+	rng := rand.New(rand.NewSource(seed))
+	parts := make([]body.Particle, n)
+	m := total / float64(n)
+	for i := range parts {
+		// Radius from the inverse cumulative mass profile.
+		x := rng.Float64()
+		r := a / math.Sqrt(math.Pow(x, -2.0/3.0)-1)
+		pos := isotropic(rng, r)
+
+		// Speed by von Neumann rejection on q = v/v_esc with
+		// g(q) = q² (1-q²)^{7/2}.
+		var q float64
+		for {
+			q = rng.Float64()
+			y := rng.Float64() * 0.1 // max of g(q) ≈ 0.092
+			if y < q*q*math.Pow(1-q*q, 3.5) {
+				break
+			}
+		}
+		vesc := math.Sqrt(2*g*total/a) * math.Pow(1+r*r/(a*a), -0.25)
+		vel := isotropic(rng, q*vesc)
+
+		parts[i] = body.Particle{Pos: pos, Vel: vel, Mass: m, ID: int64(i)}
+	}
+	centerOfMassFrame(parts)
+	return parts
+}
+
+// isotropic returns a vector of given length in a uniformly random direction.
+func isotropic(rng *rand.Rand, r float64) vec.V3 {
+	z := 2*rng.Float64() - 1
+	phi := 2 * math.Pi * rng.Float64()
+	s := math.Sqrt(1 - z*z)
+	return vec.V3{X: r * s * math.Cos(phi), Y: r * s * math.Sin(phi), Z: r * z}
+}
+
+// centerOfMassFrame removes the net position and momentum drift.
+func centerOfMassFrame(parts []body.Particle) {
+	var com, mom vec.V3
+	var m float64
+	for i := range parts {
+		com = com.Add(parts[i].Pos.Scale(parts[i].Mass))
+		mom = mom.Add(parts[i].Vel.Scale(parts[i].Mass))
+		m += parts[i].Mass
+	}
+	if m == 0 {
+		return
+	}
+	com = com.Scale(1 / m)
+	vel := mom.Scale(1 / m)
+	for i := range parts {
+		parts[i].Pos = parts[i].Pos.Sub(com)
+		parts[i].Vel = parts[i].Vel.Sub(vel)
+	}
+}

@@ -1,0 +1,107 @@
+package ic
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"bonsai/internal/body"
+	"bonsai/internal/vec"
+)
+
+// This file supports the paper's §I "type 1" galaxy simulations: "an
+// analytic, static potential dark matter halo and a live (N-body) disk"
+// (the Dubinski and D'Onghia setups the paper contrasts with its own fully
+// live runs). The spheroidal components (NFW halo + Hernquist bulge) become
+// a closed-form radial field; only the disk is realized with particles, so
+// a given disk resolution costs ~13x fewer particles.
+
+// StaticField is an analytic acceleration/potential field.
+type StaticField func(pos vec.V3) (acc vec.V3, pot float64)
+
+// StaticHaloField returns the spherically averaged analytic field of the
+// model's halo and bulge for gravitational constant g: the acceleration is
+// -g·M(<r)/r² r̂ and the potential integrates the same mass profile
+// (continuous at the truncation radii, Keplerian beyond them).
+func (m MilkyWayModel) StaticHaloField(g float64) StaticField {
+	// Tabulate M(<r) for halo+bulge and integrate the potential inward:
+	// φ(r) = -g M_tot/r_max − g ∫_r^{r_max} M(<s)/s² ds.
+	const nbins = 1024
+	rmax := m.HaloCut * 4
+	rmin := 1e-4
+	rs := make([]float64, nbins)
+	ms := make([]float64, nbins)
+	lr0, lr1 := math.Log(rmin), math.Log(rmax)
+	for i := 0; i < nbins; i++ {
+		r := math.Exp(lr0 + (lr1-lr0)*float64(i)/float64(nbins-1))
+		rs[i] = r
+		ms[i] = m.haloMassWithin(r) + m.bulgeMassWithin(r)
+	}
+	pots := make([]float64, nbins)
+	pots[nbins-1] = -g * ms[nbins-1] / rs[nbins-1]
+	for i := nbins - 2; i >= 0; i-- {
+		// Trapezoidal step of g M(<s)/s² between r_i and r_{i+1}.
+		f0 := g * ms[i] / (rs[i] * rs[i])
+		f1 := g * ms[i+1] / (rs[i+1] * rs[i+1])
+		pots[i] = pots[i+1] - 0.5*(f0+f1)*(rs[i+1]-rs[i])
+	}
+	mTot := ms[nbins-1]
+
+	return func(pos vec.V3) (vec.V3, float64) {
+		r := pos.Norm()
+		switch {
+		case r <= rs[0]:
+			// Near the centre: harmonic core from the innermost shell.
+			mEnc := ms[0] * (r / rs[0]) * (r / rs[0]) * (r / rs[0])
+			if r == 0 {
+				return vec.V3{}, pots[0]
+			}
+			return pos.Scale(-g * mEnc / (r * r * r)), pots[0]
+		case r >= rs[nbins-1]:
+			return pos.Scale(-g * mTot / (r * r * r)), -g * mTot / r
+		}
+		i := sort.SearchFloat64s(rs, r)
+		f := (r - rs[i-1]) / (rs[i] - rs[i-1])
+		mEnc := ms[i-1]*(1-f) + ms[i]*f
+		pot := pots[i-1]*(1-f) + pots[i]*f
+		return pos.Scale(-g * mEnc / (r * r * r)), pot
+	}
+}
+
+// MilkyWayDiskOnly realizes only the model's disk with n equal-mass
+// particles (velocities are still drawn against the full model's rotation
+// curve, so the disk orbits correctly inside the matching StaticHaloField).
+// IDs are 0..n-1; generation is deterministic and chunk-parallel like
+// MilkyWay.
+func MilkyWayDiskOnly(model MilkyWayModel, n int, seed int64, workers int) []body.Particle {
+	prof := model.buildProfile()
+	mass := model.DiskMass / float64(n)
+	parts := make([]body.Particle, n)
+	if workers <= 0 {
+		workers = 1
+	}
+	const chunk = 4096
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rng := newChunkRNG(seed, lo)
+			for i := lo; i < hi; i++ {
+				p := model.diskParticle(rng, prof)
+				p.Mass = mass
+				p.ID = int64(i)
+				parts[i] = p
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return parts
+}

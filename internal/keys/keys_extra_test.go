@@ -1,0 +1,63 @@
+package keys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bonsai/internal/vec"
+)
+
+func TestCellBoxNesting(t *testing.T) {
+	// Property: the level-(k+1) cell of a point is contained in its level-k
+	// cell, and all cells contain the point — the octree lattice the Morton
+	// digits encode.
+	g := NewGrid(vec.Box{Min: vec.V3{X: -5, Y: -3, Z: 0}, Max: vec.V3{X: 7, Y: 9, Z: 4}})
+	f := func(px, py, pz uint32) bool {
+		p := vec.V3{
+			X: -5 + 12*float64(px)/float64(^uint32(0)),
+			Y: -3 + 12*float64(py)/float64(^uint32(0)),
+			Z: 0 + 4*float64(pz)/float64(^uint32(0)),
+		}
+		x, y, z := g.Coords(p)
+		prev := g.CellBox(x, y, z, 0)
+		for level := 1; level <= 12; level++ {
+			cur := g.CellBox(x, y, z, level)
+			if !cur.Contains(p) {
+				return false
+			}
+			// cur must be inside prev (allow float-rounding slack of a
+			// few ulps of the box scale).
+			slack := vec.V3{X: 1e-9, Y: 1e-9, Z: 1e-9}
+			loose := vec.Box{Min: prev.Min.Sub(slack), Max: prev.Max.Add(slack)}
+			if !loose.Contains(cur.Min) || !loose.Contains(cur.Max) {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHilbertMortonSameOctantLattice(t *testing.T) {
+	// The top 3k bits of both curves identify a level-k cell of the SAME
+	// octree lattice: two points share a level-k Morton prefix iff they
+	// share a level-k Hilbert prefix (the curves order cells differently
+	// but partition space identically).
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		x1, y1, z1 := rng.Uint32()&MaxCoord, rng.Uint32()&MaxCoord, rng.Uint32()&MaxCoord
+		x2, y2, z2 := rng.Uint32()&MaxCoord, rng.Uint32()&MaxCoord, rng.Uint32()&MaxCoord
+		for _, k := range []int{1, 3, 7} {
+			shift := uint(3 * (Bits - k))
+			sameMorton := Morton(x1, y1, z1)>>shift == Morton(x2, y2, z2)>>shift
+			sameHilbert := Hilbert(x1, y1, z1)>>shift == Hilbert(x2, y2, z2)>>shift
+			if sameMorton != sameHilbert {
+				t.Fatalf("lattice mismatch at level %d: morton %v hilbert %v", k, sameMorton, sameHilbert)
+			}
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package lettree implements the Local Essential Tree (LET) machinery of the
+// paper's multi-GPU parallelization (§III.B.2):
+//
+//   - Boundary trees: a shallow multipole-only truncation of the local
+//     octree that every rank allgathers. The paper reuses this structure for
+//     two purposes: as the remote-domain geometry description needed to
+//     build LETs, and — for sufficiently distant rank pairs — directly as
+//     the LET itself, avoiding any further communication.
+//
+//   - The sufficiency predicate: a receiver-reproducible MAC check deciding
+//     whether a boundary tree alone can serve a target domain. Both the
+//     sender and the receiver evaluate the same predicate on the same
+//     allgathered inputs ("double the compute work", as the paper puts it),
+//     so no request/acknowledge round-trip is ever needed: the exchange is
+//     push-only.
+//
+//   - Full LET construction: a walk of the local octree against a remote
+//     domain's bounding geometry that emits exactly the cells and particles
+//     the remote rank could need for any target group inside its domain.
+//
+// A LET is a standalone serializable tree; the receiver computes gravity
+// from it directly ("processed separately as soon as they arrive"), which is
+// what lets communication hide behind the local-tree computation.
+package lettree
+
+import (
+	"sync"
+
+	"bonsai/internal/grav"
+	"bonsai/internal/octree"
+	"bonsai/internal/vec"
+)
+
+// NilCell marks an absent child, as in package octree.
+const NilCell = int32(-1)
+
+// DefaultBoundaryDepth is how many levels of the local tree a boundary tree
+// retains below its root.
+const DefaultBoundaryDepth = 4
+
+// Part is a source particle carried by a LET leaf.
+type Part struct {
+	Pos  vec.V3
+	Mass float64
+}
+
+// Cell is one LET node. A cell with Openable == false carries only its
+// multipole: the structure below it was pruned because (by the MAC) no
+// target in the destination domain can ever need to open it.
+type Cell struct {
+	MP       grav.Multipole
+	Side     float64
+	Delta    float64
+	Children [8]int32
+	Leaf     bool
+	Openable bool
+	PStart   int32 // leaf particle range in LET.Parts
+	PN       int32
+}
+
+// LET is a standalone essential tree: the root is Cells[0].
+type LET struct {
+	Cells []Cell
+	Parts []Part
+	// Box is the bounding box of the *owning* rank's particles; for boundary
+	// trees this doubles as the remote-domain geometry other ranks test
+	// against.
+	Box vec.Box
+}
+
+// Empty reports whether the LET carries no mass.
+func (l *LET) Empty() bool { return l == nil || len(l.Cells) == 0 }
+
+// ---------------------------------------------------------------------------
+// Construction
+
+// BoundaryTree extracts the top `depth` levels of the local octree. Cells at
+// the cut that still have substructure are marked non-openable and carry
+// only multipoles; true leaves within the retained depth keep their
+// particles, so the boundary tree is exact for any viewer it is sufficient
+// for.
+func BoundaryTree(t *octree.Tree, depth int, localBox vec.Box) *LET {
+	if depth <= 0 {
+		depth = DefaultBoundaryDepth
+	}
+	out := &LET{Box: localBox}
+	if t.Root() == octree.NilCell {
+		return out
+	}
+	var rec func(src int32, lvl int) int32
+	rec = func(src int32, lvl int) int32 {
+		sc := &t.Cells[src]
+		idx := int32(len(out.Cells))
+		out.Cells = append(out.Cells, Cell{
+			MP:       sc.MP,
+			Side:     sc.Side,
+			Delta:    sc.Delta,
+			Children: noChildren(),
+			Leaf:     true,
+			Openable: false,
+		})
+		switch {
+		case sc.Leaf:
+			// Real leaf: carry its particles; fully openable.
+			c := &out.Cells[idx]
+			c.Openable = true
+			c.PStart = int32(len(out.Parts))
+			c.PN = sc.N
+			for i := sc.Start; i < sc.Start+sc.N; i++ {
+				out.Parts = append(out.Parts, Part{Pos: t.Pos[i], Mass: t.Mass[i]})
+			}
+		case lvl < depth:
+			// Internal cell within the retained depth: recurse.
+			out.Cells[idx].Leaf = false
+			out.Cells[idx].Openable = true
+			for o, ch := range sc.Children {
+				if ch == octree.NilCell {
+					continue
+				}
+				ci := rec(ch, lvl+1)
+				out.Cells[idx].Children[o] = ci
+			}
+		default:
+			// Truncated: multipole only (Openable stays false).
+		}
+		return idx
+	}
+	rec(t.Root(), 0)
+	return out
+}
+
+// BuildFor constructs the full LET of the local octree for a remote domain
+// whose particles lie inside remoteBox: every local cell that the MAC might
+// require the remote to open is expanded, every distant cell is emitted as a
+// closed multipole, and opened leaves contribute their particles.
+func BuildFor(t *octree.Tree, remoteBox vec.Box, theta float64, localBox vec.Box) *LET {
+	out := &LET{Box: localBox}
+	if t.Root() == octree.NilCell {
+		return out
+	}
+	var rec func(src int32) int32
+	rec = func(src int32) int32 {
+		sc := &t.Cells[src]
+		idx := int32(len(out.Cells))
+		out.Cells = append(out.Cells, Cell{
+			MP:       sc.MP,
+			Side:     sc.Side,
+			Delta:    sc.Delta,
+			Children: noChildren(),
+			Leaf:     true,
+			Openable: false,
+		})
+		if !octree.MACOpen(remoteBox, sc, theta) {
+			return idx // closed multipole; remote will never open it
+		}
+		if sc.Leaf {
+			c := &out.Cells[idx]
+			c.Openable = true
+			c.PStart = int32(len(out.Parts))
+			c.PN = sc.N
+			for i := sc.Start; i < sc.Start+sc.N; i++ {
+				out.Parts = append(out.Parts, Part{Pos: t.Pos[i], Mass: t.Mass[i]})
+			}
+			return idx
+		}
+		out.Cells[idx].Leaf = false
+		out.Cells[idx].Openable = true
+		for o, ch := range sc.Children {
+			if ch == octree.NilCell {
+				continue
+			}
+			ci := rec(ch)
+			out.Cells[idx].Children[o] = ci
+		}
+		return idx
+	}
+	rec(t.Root())
+	return out
+}
+
+func noChildren() [8]int32 {
+	return [8]int32{NilCell, NilCell, NilCell, NilCell, NilCell, NilCell, NilCell, NilCell}
+}
+
+// ---------------------------------------------------------------------------
+// Sufficiency
+
+// Sufficient reports whether the LET (typically a boundary tree) contains
+// enough structure to compute MAC-accurate forces for any target group
+// inside targetBox: its traversal from targetBox never tries to open a
+// pruned cell. Both sides of a rank pair evaluate this on identical inputs,
+// which is what makes the paper's push protocol handshake-free.
+func Sufficient(l *LET, targetBox vec.Box, theta float64) bool {
+	if l.Empty() {
+		return true
+	}
+	var rec func(idx int32) bool
+	rec = func(idx int32) bool {
+		c := &l.Cells[idx]
+		if c.MP.M == 0 {
+			return true
+		}
+		if !macOpen(targetBox, c, theta) {
+			return true
+		}
+		if !c.Openable {
+			return false
+		}
+		if c.Leaf {
+			return true // particles present
+		}
+		for _, ch := range c.Children {
+			if ch != NilCell && !rec(ch) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+func macOpen(groupBox vec.Box, c *Cell, theta float64) bool {
+	open := c.Side/theta + c.Delta
+	return groupBox.Dist2(c.MP.COM) < open*open
+}
+
+// ---------------------------------------------------------------------------
+// Gravity from a LET
+
+// walkScratch reuses traversal buffers across groups.
+type walkScratch struct {
+	stack []int32
+	cells []grav.Multipole
+	parts []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return &walkScratch{} }}
+
+// Walk accumulates the gravitational forces exerted by the LET's mass on the
+// target particles (grouped as in the local walk). ForcedAccepts counts
+// pruned cells that a group needed to open but could not — always zero when
+// the LET was built or vetted for these targets; non-zero values indicate a
+// protocol violation and are surfaced through the returned count.
+func Walk(l *LET, groups []octree.Group, tpos []vec.V3, theta, eps2 float64,
+	acc []vec.V3, pot []float64, workers int, st *grav.Stats) (forcedAccepts int64) {
+
+	if l.Empty() || len(groups) == 0 {
+		return 0
+	}
+	if workers <= 1 {
+		var local grav.Stats
+		var forced int64
+		sc := scratchPool.Get().(*walkScratch)
+		for g := range groups {
+			forced += walkGroup(l, &groups[g], tpos, theta, eps2, acc, pot, sc, &local)
+		}
+		scratchPool.Put(sc)
+		if st != nil {
+			st.Add(local)
+		}
+		return forced
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var forcedTotal int64
+	next := make(chan int, workers)
+	go func() {
+		for g := range groups {
+			next <- g
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local grav.Stats
+			var forced int64
+			sc := scratchPool.Get().(*walkScratch)
+			for g := range next {
+				forced += walkGroup(l, &groups[g], tpos, theta, eps2, acc, pot, sc, &local)
+			}
+			scratchPool.Put(sc)
+			mu.Lock()
+			if st != nil {
+				st.Add(local)
+			}
+			forcedTotal += forced
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return forcedTotal
+}
+
+func walkGroup(l *LET, g *octree.Group, tpos []vec.V3, theta, eps2 float64,
+	acc []vec.V3, pot []float64, sc *walkScratch, st *grav.Stats) (forced int64) {
+
+	sc.stack = append(sc.stack[:0], 0)
+	sc.cells = sc.cells[:0]
+	sc.parts = sc.parts[:0]
+
+	for len(sc.stack) > 0 {
+		idx := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		c := &l.Cells[idx]
+		if c.MP.M == 0 {
+			continue
+		}
+		if !macOpen(g.Box, c, theta) {
+			sc.cells = append(sc.cells, c.MP)
+			continue
+		}
+		if !c.Openable {
+			sc.cells = append(sc.cells, c.MP) // degrade gracefully; flagged
+			forced++
+			continue
+		}
+		if c.Leaf {
+			for i := c.PStart; i < c.PStart+c.PN; i++ {
+				sc.parts = append(sc.parts, i)
+			}
+			continue
+		}
+		for _, ch := range c.Children {
+			if ch != NilCell {
+				sc.stack = append(sc.stack, ch)
+			}
+		}
+	}
+
+	for i := g.Start; i < g.Start+g.N; i++ {
+		p := tpos[i]
+		var f grav.Force
+		for _, mp := range sc.cells {
+			f.Add(grav.PC(p, mp, eps2))
+		}
+		for _, pj := range sc.parts {
+			f.Add(grav.PP(p, l.Parts[pj].Pos, l.Parts[pj].Mass, eps2))
+		}
+		acc[i] = acc[i].Add(f.Acc)
+		pot[i] += f.Pot
+	}
+	st.PC += uint64(len(sc.cells)) * uint64(g.N)
+	st.PP += uint64(len(sc.parts)) * uint64(g.N)
+	return forced
+}
+
+// TotalMass returns the LET root's mass.
+func (l *LET) TotalMass() float64 {
+	if l.Empty() {
+		return 0
+	}
+	return l.Cells[0].MP.M
+}

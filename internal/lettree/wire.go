@@ -1,0 +1,189 @@
+package lettree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file implements the byte-level wire format for LETs. The in-process
+// runtime passes LET pointers (zero copy, like MPI within a node), but this
+// is what a cross-node deployment would ship, and it backs the WireBytes
+// traffic accounting with a real encoding: Marshal's output length is
+// exactly WireBytes().
+//
+// Layout (little-endian):
+//
+//	magic   uint32 "LET1"
+//	nCells  uint32
+//	nParts  uint32
+//	box     6 × float64
+//	cells   nCells × { com[3], mass, side, delta, quad[6] (f64),
+//	                   children[8] (i32), flags (u8), reserved (u8) }
+//	parts   nParts × { pos[3], mass } (f64)
+//
+// Leaf cells have no children, so their particle range [PStart, PN) is
+// carried in the first two child slots.
+
+const wireMagic = 0x4c455431 // "LET1"
+
+const (
+	cellWireBytes   = 12*8 + 8*4 + 2
+	partWireBytes   = 4 * 8
+	headerWireBytes = 4 + 4 + 4 + 6*8
+)
+
+// WireBytes returns the exact encoded size of the LET; the mpi traffic
+// meters use it for every boundary-tree and LET transfer.
+func (l *LET) WireBytes() int {
+	return headerWireBytes + len(l.Cells)*cellWireBytes + len(l.Parts)*partWireBytes
+}
+
+// Marshal encodes the LET into a fresh byte slice of length WireBytes().
+func (l *LET) Marshal() []byte {
+	buf := make([]byte, l.WireBytes())
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], wireMagic)
+	le.PutUint32(buf[4:], uint32(len(l.Cells)))
+	le.PutUint32(buf[8:], uint32(len(l.Parts)))
+	off := 12
+	putF := func(f float64) {
+		le.PutUint64(buf[off:], math.Float64bits(f))
+		off += 8
+	}
+	putF(l.Box.Min.X)
+	putF(l.Box.Min.Y)
+	putF(l.Box.Min.Z)
+	putF(l.Box.Max.X)
+	putF(l.Box.Max.Y)
+	putF(l.Box.Max.Z)
+	for i := range l.Cells {
+		c := &l.Cells[i]
+		putF(c.MP.COM.X)
+		putF(c.MP.COM.Y)
+		putF(c.MP.COM.Z)
+		putF(c.MP.M)
+		putF(c.Side)
+		putF(c.Delta)
+		putF(c.MP.Quad.XX)
+		putF(c.MP.Quad.YY)
+		putF(c.MP.Quad.ZZ)
+		putF(c.MP.Quad.XY)
+		putF(c.MP.Quad.XZ)
+		putF(c.MP.Quad.YZ)
+		if c.Leaf {
+			le.PutUint32(buf[off:], uint32(c.PStart))
+			le.PutUint32(buf[off+4:], uint32(c.PN))
+			nilBits := uint32(0xffffffff) // int32(-1) = NilCell
+			for k := 2; k < 8; k++ {
+				le.PutUint32(buf[off+4*k:], nilBits)
+			}
+		} else {
+			for k, ch := range c.Children {
+				le.PutUint32(buf[off+4*k:], uint32(ch))
+			}
+		}
+		off += 8 * 4
+		flags := byte(0)
+		if c.Leaf {
+			flags |= 1
+		}
+		if c.Openable {
+			flags |= 2
+		}
+		buf[off] = flags
+		buf[off+1] = 0 // reserved
+		off += 2
+	}
+	for i := range l.Parts {
+		p := &l.Parts[i]
+		putF(p.Pos.X)
+		putF(p.Pos.Y)
+		putF(p.Pos.Z)
+		putF(p.Mass)
+	}
+	return buf[:off]
+}
+
+// Unmarshal decodes a LET produced by Marshal.
+func Unmarshal(buf []byte) (*LET, error) {
+	le := binary.LittleEndian
+	if len(buf) < headerWireBytes {
+		return nil, fmt.Errorf("lettree: short buffer (%d bytes)", len(buf))
+	}
+	if le.Uint32(buf[0:]) != wireMagic {
+		return nil, fmt.Errorf("lettree: bad magic %#x", le.Uint32(buf[0:]))
+	}
+	nCells := int(le.Uint32(buf[4:]))
+	nParts := int(le.Uint32(buf[8:]))
+	if nCells < 0 || nParts < 0 {
+		return nil, fmt.Errorf("lettree: negative counts")
+	}
+	want := headerWireBytes + nCells*cellWireBytes + nParts*partWireBytes
+	if len(buf) < want {
+		return nil, fmt.Errorf("lettree: truncated: have %d bytes, want %d", len(buf), want)
+	}
+	off := 12
+	getF := func() float64 {
+		f := math.Float64frombits(le.Uint64(buf[off:]))
+		off += 8
+		return f
+	}
+	l := &LET{
+		Cells: make([]Cell, nCells),
+		Parts: make([]Part, nParts),
+	}
+	l.Box.Min.X = getF()
+	l.Box.Min.Y = getF()
+	l.Box.Min.Z = getF()
+	l.Box.Max.X = getF()
+	l.Box.Max.Y = getF()
+	l.Box.Max.Z = getF()
+	for i := range l.Cells {
+		c := &l.Cells[i]
+		c.MP.COM.X = getF()
+		c.MP.COM.Y = getF()
+		c.MP.COM.Z = getF()
+		c.MP.M = getF()
+		c.Side = getF()
+		c.Delta = getF()
+		c.MP.Quad.XX = getF()
+		c.MP.Quad.YY = getF()
+		c.MP.Quad.ZZ = getF()
+		c.MP.Quad.XY = getF()
+		c.MP.Quad.XZ = getF()
+		c.MP.Quad.YZ = getF()
+		childBase := off
+		for k := 0; k < 8; k++ {
+			c.Children[k] = int32(le.Uint32(buf[off:]))
+			off += 4
+		}
+		flags := buf[off]
+		off += 2
+		c.Leaf = flags&1 != 0
+		c.Openable = flags&2 != 0
+		if c.Leaf {
+			ps := int32(le.Uint32(buf[childBase:]))
+			pn := int32(le.Uint32(buf[childBase+4:]))
+			if pn < 0 || ps < 0 || int(ps)+int(pn) > nParts {
+				return nil, fmt.Errorf("lettree: cell %d particle range [%d,%d) out of bounds", i, ps, ps+pn)
+			}
+			c.PStart, c.PN = ps, pn
+			c.Children = noChildren()
+		} else {
+			for k := 0; k < 8; k++ {
+				if ch := c.Children[k]; ch != NilCell && (ch < 0 || int(ch) >= nCells) {
+					return nil, fmt.Errorf("lettree: cell %d child %d out of range", i, ch)
+				}
+			}
+		}
+	}
+	for i := range l.Parts {
+		p := &l.Parts[i]
+		p.Pos.X = getF()
+		p.Pos.Y = getF()
+		p.Pos.Z = getF()
+		p.Mass = getF()
+	}
+	return l, nil
+}

@@ -1,0 +1,112 @@
+package lettree
+
+import (
+	"testing"
+
+	"bonsai/internal/octree"
+	"bonsai/internal/vec"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	pos, mass := blob(5000, vec.V3{X: 1}, 1, 21)
+	tr, _ := octree.BuildFrom(pos, mass, 16, 2)
+	lb := boxOf(pos)
+	for _, l := range []*LET{
+		BoundaryTree(tr, 4, lb),
+		BuildFor(tr, vec.Box{Min: vec.V3{X: 4}, Max: vec.V3{X: 6, Y: 1, Z: 1}}, 0.4, lb),
+		BuildFor(tr, lb, 0.4, lb), // self-overlapping: particle-heavy
+	} {
+		buf := l.Marshal()
+		if len(buf) != l.WireBytes() {
+			t.Fatalf("encoded %d bytes, WireBytes says %d", len(buf), l.WireBytes())
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Cells) != len(l.Cells) || len(got.Parts) != len(l.Parts) {
+			t.Fatalf("size mismatch: %d/%d cells, %d/%d parts",
+				len(got.Cells), len(l.Cells), len(got.Parts), len(l.Parts))
+		}
+		if got.Box != l.Box {
+			t.Fatal("box mismatch")
+		}
+		for i := range l.Cells {
+			if got.Cells[i] != l.Cells[i] {
+				t.Fatalf("cell %d mismatch:\n got %+v\nwant %+v", i, got.Cells[i], l.Cells[i])
+			}
+		}
+		for i := range l.Parts {
+			if got.Parts[i] != l.Parts[i] {
+				t.Fatalf("part %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestWireRoundTripWalkEquivalence(t *testing.T) {
+	// Forces from a decoded LET must be bitwise identical to the original's.
+	posB, massB := blob(4000, vec.V3{X: 3}, 0.8, 22)
+	trB, _ := octree.BuildFrom(posB, massB, 16, 2)
+	tpos, _ := blob(500, vec.V3{X: -3}, 0.5, 23)
+	let := BuildFor(trB, boxOf(tpos), 0.4, boxOf(posB))
+
+	decoded, err := Unmarshal(let.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := octree.GroupsOf(tpos, 64)
+	a1 := make([]vec.V3, len(tpos))
+	p1 := make([]float64, len(tpos))
+	Walk(let, groups, tpos, 0.4, 1e-4, a1, p1, 1, nil)
+	a2 := make([]vec.V3, len(tpos))
+	p2 := make([]float64, len(tpos))
+	Walk(decoded, groups, tpos, 0.4, 1e-4, a2, p2, 1, nil)
+	for i := range a1 {
+		if a1[i] != a2[i] || p1[i] != p2[i] {
+			t.Fatalf("decoded LET walk differs at %d", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	pos, mass := blob(1000, vec.V3{}, 1, 24)
+	tr, _ := octree.BuildFrom(pos, mass, 16, 2)
+	l := BoundaryTree(tr, 4, boxOf(pos))
+	buf := l.Marshal()
+
+	if _, err := Unmarshal(buf[:8]); err == nil {
+		t.Error("short buffer accepted")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] ^= 0xff
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Unmarshal(buf[:len(buf)-10]); err == nil {
+		t.Error("truncated buffer accepted")
+	}
+	// Corrupt a child index to an out-of-range value on an internal cell.
+	if len(l.Cells) > 1 && !l.Cells[0].Leaf {
+		bad2 := append([]byte(nil), buf...)
+		childOff := headerWireBytes + 12*8 // first cell's child slots
+		bad2[childOff] = 0xff
+		bad2[childOff+1] = 0xff
+		bad2[childOff+2] = 0xff
+		bad2[childOff+3] = 0x7f // huge positive
+		if _, err := Unmarshal(bad2); err == nil {
+			t.Error("out-of-range child accepted")
+		}
+	}
+}
+
+func TestWireEmptyLET(t *testing.T) {
+	var l LET
+	got, err := Unmarshal(l.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Empty() {
+		t.Error("empty LET round trip not empty")
+	}
+}

@@ -1,0 +1,216 @@
+// Package mpi provides an in-process message-passing runtime that stands in
+// for MPI in the paper's multi-GPU parallelization. Ranks are goroutines in
+// one address space; links are unbounded mailboxes, so sends are "eager"
+// (never block) exactly like small-message MPI sends, and receives match on
+// (source, tag) in FIFO order per pair.
+//
+// The runtime also meters traffic: every rank's sent bytes and message
+// counts are recorded, which is how the repository validates the paper's
+// claim (§III.B.2) that per-rank communication volume scales with the domain
+// *surface* rather than its volume.
+//
+// Collectives (Barrier, Bcast, Allgather(v), Allreduce, Alltoallv) are built
+// on point-to-point messages in a reserved tag space. They assume SPMD use:
+// every rank issues the same sequence of collective calls, which is how the
+// simulation step is structured (matching real MPI semantics).
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxUserTag is the exclusive upper bound for user point-to-point tags;
+// larger tags are reserved for collectives.
+const MaxUserTag = 1 << 30
+
+// message is one queued point-to-point message.
+type message struct {
+	from int
+	tag  int
+	data any
+}
+
+// mailbox is the receive queue of one rank.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// World is a communicator universe of size ranks.
+type World struct {
+	size      int
+	mail      []*mailbox
+	bytesSent []atomic.Int64
+	msgsSent  []atomic.Int64
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: invalid world size %d", size))
+	}
+	w := &World{
+		size:      size,
+		mail:      make([]*mailbox, size),
+		bytesSent: make([]atomic.Int64, size),
+		msgsSent:  make([]atomic.Int64, size),
+	}
+	for i := range w.mail {
+		w.mail[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// BytesSent returns the cumulative bytes sent by a rank (as declared by
+// senders through the nbytes arguments).
+func (w *World) BytesSent(rank int) int64 { return w.bytesSent[rank].Load() }
+
+// MessagesSent returns the cumulative message count sent by a rank,
+// including messages generated internally by collectives.
+func (w *World) MessagesSent(rank int) int64 { return w.msgsSent[rank].Load() }
+
+// TotalBytes returns the bytes sent summed over all ranks.
+func (w *World) TotalBytes() int64 {
+	var t int64
+	for i := 0; i < w.size; i++ {
+		t += w.bytesSent[i].Load()
+	}
+	return t
+}
+
+// ResetCounters zeroes the traffic meters.
+func (w *World) ResetCounters() {
+	for i := 0; i < w.size; i++ {
+		w.bytesSent[i].Store(0)
+		w.msgsSent[i].Store(0)
+	}
+}
+
+// Comm is a rank's handle on the world.
+type Comm struct {
+	w       *World
+	rank    int
+	collSeq int // sequence number for collective tag allocation
+}
+
+// Comm returns the communicator handle for the given rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.size))
+	}
+	return &Comm{w: w, rank: rank}
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// Send delivers data to rank `to` with the given tag. nbytes is the payload
+// size the message would have on a wire; it feeds the traffic meters only.
+// Send never blocks.
+func (c *Comm) Send(to, tag int, data any, nbytes int) {
+	if tag < 0 || tag >= MaxUserTag {
+		panic(fmt.Sprintf("mpi: user tag %d out of range", tag))
+	}
+	c.send(to, tag, data, nbytes)
+}
+
+func (c *Comm) send(to, tag int, data any, nbytes int) {
+	if to < 0 || to >= c.w.size {
+		panic(fmt.Sprintf("mpi: destination %d out of range", to))
+	}
+	c.w.bytesSent[c.rank].Add(int64(nbytes))
+	c.w.msgsSent[c.rank].Add(1)
+	mb := c.w.mail[to]
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, message{from: c.rank, tag: tag, data: data})
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// Recv blocks until a message from rank `from` with the given tag arrives
+// and returns its payload. Messages from the same (source, tag) pair are
+// received in send order.
+func (c *Comm) Recv(from, tag int) any {
+	mb := c.w.mail[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if m.from == from && m.tag == tag {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m.data
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// RecvAny blocks until a message with the given tag arrives from any source.
+func (c *Comm) RecvAny(tag int) (from int, data any) {
+	mb := c.w.mail[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if m.tag == tag {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m.from, m.data
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// TryRecvAny is the non-blocking variant of RecvAny. ok reports whether a
+// message was available.
+func (c *Comm) TryRecvAny(tag int) (from int, data any, ok bool) {
+	mb := c.w.mail[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, m := range mb.queue {
+		if m.tag == tag {
+			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			return m.from, m.data, true
+		}
+	}
+	return 0, nil, false
+}
+
+// nextCollTag allocates the tag for the next collective operation. SPMD use
+// keeps the per-rank counters in lockstep.
+func (c *Comm) nextCollTag() int {
+	t := MaxUserTag + c.collSeq
+	c.collSeq++
+	return t
+}
+
+// Barrier blocks until every rank has entered the barrier.
+func (c *Comm) Barrier() {
+	tag := c.nextCollTag()
+	if c.rank == 0 {
+		for r := 1; r < c.Size(); r++ {
+			c.Recv(r, tag)
+		}
+		for r := 1; r < c.Size(); r++ {
+			c.send(r, tag, nil, 0)
+		}
+	} else {
+		c.send(0, tag, nil, 0)
+		c.Recv(0, tag)
+	}
+}

@@ -1,0 +1,299 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+)
+
+// spawn runs fn on every rank of a fresh world and waits for completion.
+func spawn(size int, fn func(c *Comm)) *World {
+	w := NewWorld(size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			fn(w.Comm(r))
+		}(r)
+	}
+	wg.Wait()
+	return w
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	spawn(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, "hello", 5)
+		} else {
+			if got := c.Recv(0, 7).(string); got != "hello" {
+				t.Errorf("got %q", got)
+			}
+		}
+	})
+}
+
+func TestSendRecvFIFOPerPair(t *testing.T) {
+	const n = 200
+	spawn(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 3, i, 8)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if got := c.Recv(0, 3).(int); got != i {
+					t.Errorf("out of order: got %d want %d", got, i)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestRecvMatchesTagAndSource(t *testing.T) {
+	spawn(3, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(2, 1, "from0tag1", 9)
+			c.Send(2, 2, "from0tag2", 9)
+		case 1:
+			c.Send(2, 1, "from1tag1", 9)
+		case 2:
+			// Receive in an order different from arrival order.
+			if got := c.Recv(1, 1).(string); got != "from1tag1" {
+				t.Errorf("got %q", got)
+			}
+			if got := c.Recv(0, 2).(string); got != "from0tag2" {
+				t.Errorf("got %q", got)
+			}
+			if got := c.Recv(0, 1).(string); got != "from0tag1" {
+				t.Errorf("got %q", got)
+			}
+		}
+	})
+}
+
+func TestRecvAnyAndTryRecvAny(t *testing.T) {
+	spawn(4, func(c *Comm) {
+		if c.Rank() == 0 {
+			got := map[int]bool{}
+			for i := 0; i < 3; i++ {
+				from, data := c.RecvAny(9)
+				if data.(int) != from*10 {
+					t.Errorf("from %d: data %v", from, data)
+				}
+				got[from] = true
+			}
+			if len(got) != 3 {
+				t.Errorf("sources seen: %v", got)
+			}
+			if _, _, ok := c.TryRecvAny(9); ok {
+				t.Error("TryRecvAny found unexpected message")
+			}
+		} else {
+			c.Send(0, 9, c.Rank()*10, 8)
+		}
+	})
+}
+
+func TestBarrier(t *testing.T) {
+	const size = 8
+	var counter int
+	var mu sync.Mutex
+	spawn(size, func(c *Comm) {
+		mu.Lock()
+		counter++
+		mu.Unlock()
+		c.Barrier()
+		mu.Lock()
+		if counter != size {
+			t.Errorf("rank %d passed barrier with counter %d", c.Rank(), counter)
+		}
+		mu.Unlock()
+		c.Barrier()
+	})
+}
+
+func TestBcast(t *testing.T) {
+	spawn(5, func(c *Comm) {
+		v := -1
+		if c.Rank() == 2 {
+			v = 42
+		}
+		if got := Bcast(c, 2, v, 8); got != 42 {
+			t.Errorf("rank %d: Bcast = %d", c.Rank(), got)
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	spawn(6, func(c *Comm) {
+		got := Allgather(c, c.Rank()*c.Rank(), 8)
+		for r, v := range got {
+			if v != r*r {
+				t.Errorf("rank %d: got[%d] = %d", c.Rank(), r, v)
+			}
+		}
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	const size = 7
+	spawn(size, func(c *Comm) {
+		sum := Allreduce(c, c.Rank()+1, func(a, b int) int { return a + b }, 8)
+		want := size * (size + 1) / 2
+		if sum != want {
+			t.Errorf("rank %d: sum = %d, want %d", c.Rank(), sum, want)
+		}
+		max := Allreduce(c, c.Rank(), func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		}, 8)
+		if max != size-1 {
+			t.Errorf("rank %d: max = %d", c.Rank(), max)
+		}
+	})
+}
+
+func TestAlltoallv(t *testing.T) {
+	const size = 5
+	spawn(size, func(c *Comm) {
+		send := make([][]int, size)
+		for r := 0; r < size; r++ {
+			// rank i sends [i, r] to rank r
+			send[r] = []int{c.Rank(), r}
+		}
+		recv := Alltoallv(c, send, 8)
+		for r := 0; r < size; r++ {
+			if len(recv[r]) != 2 || recv[r][0] != r || recv[r][1] != c.Rank() {
+				t.Errorf("rank %d: recv[%d] = %v", c.Rank(), r, recv[r])
+			}
+		}
+	})
+}
+
+func TestCollectivesInterleavedWithP2P(t *testing.T) {
+	// A collective must not swallow point-to-point messages with user tags.
+	spawn(3, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 5, "payload", 7)
+		}
+		c.Barrier()
+		sum := Allreduce(c, 1, func(a, b int) int { return a + b }, 8)
+		if sum != 3 {
+			t.Errorf("sum = %d", sum)
+		}
+		if c.Rank() == 1 {
+			if got := c.Recv(0, 5).(string); got != "payload" {
+				t.Errorf("p2p message lost: %q", got)
+			}
+		}
+	})
+}
+
+func TestByteAccounting(t *testing.T) {
+	w := spawn(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("xxxx"), 4)
+			c.Send(1, 1, []byte("yy"), 2)
+		} else {
+			c.Recv(0, 1)
+			c.Recv(0, 1)
+		}
+	})
+	if got := w.BytesSent(0); got != 6 {
+		t.Errorf("rank 0 bytes = %d, want 6", got)
+	}
+	if got := w.BytesSent(1); got != 0 {
+		t.Errorf("rank 1 bytes = %d, want 0", got)
+	}
+	if w.TotalBytes() != 6 {
+		t.Errorf("total = %d", w.TotalBytes())
+	}
+	w.ResetCounters()
+	if w.TotalBytes() != 0 || w.MessagesSent(0) != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestManyRanksStress(t *testing.T) {
+	// 32 ranks, every rank sends to every other rank while doing collectives.
+	const size = 32
+	spawn(size, func(c *Comm) {
+		for r := 0; r < size; r++ {
+			if r != c.Rank() {
+				c.Send(r, 11, c.Rank(), 8)
+			}
+		}
+		sum := 0
+		for r := 0; r < size; r++ {
+			if r != c.Rank() {
+				sum += c.Recv(r, 11).(int)
+			}
+		}
+		want := size*(size-1)/2 - c.Rank()
+		if sum != want {
+			t.Errorf("rank %d: sum %d want %d", c.Rank(), sum, want)
+		}
+		total := Allreduce(c, sum, func(a, b int) int { return a + b }, 8)
+		if total <= 0 {
+			t.Errorf("total %d", total)
+		}
+	})
+}
+
+func TestGatherRootOnly(t *testing.T) {
+	spawn(4, func(c *Comm) {
+		got := Gather(c, 1, c.Rank()+100, 8)
+		if c.Rank() == 1 {
+			for r, v := range got {
+				if v != r+100 {
+					t.Errorf("got[%d] = %d", r, v)
+				}
+			}
+		} else if got != nil {
+			t.Errorf("non-root rank %d received %v", c.Rank(), got)
+		}
+	})
+}
+
+func BenchmarkAllgather8(b *testing.B) {
+	const size = 8
+	w := NewWorld(size)
+	payload := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for r := 0; r < size; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				Allgather(w.Comm(r), payload, len(payload))
+			}(r)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	w := NewWorld(2)
+	payload := make([]byte, 1024)
+	done := make(chan struct{})
+	go func() {
+		c := w.Comm(1)
+		for i := 0; i < b.N; i++ {
+			c.Recv(0, 1)
+			c.Send(0, 2, payload, len(payload))
+		}
+		close(done)
+	}()
+	c := w.Comm(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Send(1, 1, payload, len(payload))
+		c.Recv(1, 2)
+	}
+	<-done
+}

@@ -1,0 +1,41 @@
+package octree
+
+import (
+	"bonsai/internal/keys"
+	"bonsai/internal/psort"
+	"bonsai/internal/vec"
+)
+
+// BuildFrom is a convenience constructor for callers that hold unsorted
+// particles: it computes the bounding cube, Morton-sorts the particles, and
+// builds the tree over copies of the inputs. The returned permutation maps
+// tree order to the caller's original order: tree.Pos[i] == pos[perm[i]].
+//
+// The distributed sim layer performs these stages itself (it needs the keys
+// and the permutation for its own bookkeeping); BuildFrom serves tests,
+// examples and the single-node fast path.
+func BuildFrom(pos []vec.V3, mass []float64, nleaf, workers int) (*Tree, []int32) {
+	bb := vec.EmptyBox()
+	for _, p := range pos {
+		bb = bb.Extend(p)
+	}
+	grid := keys.NewGrid(bb)
+
+	kv := make([]psort.KV, len(pos))
+	for i, p := range pos {
+		kv[i] = psort.KV{Key: uint64(grid.MortonOf(p)), Idx: int32(i)}
+	}
+	psort.Sort(kv, workers)
+
+	sortedKeys := make([]keys.Key, len(pos))
+	sortedPos := make([]vec.V3, len(pos))
+	sortedMass := make([]float64, len(pos))
+	perm := make([]int32, len(pos))
+	for i, e := range kv {
+		sortedKeys[i] = keys.Key(e.Key)
+		sortedPos[i] = pos[e.Idx]
+		sortedMass[i] = mass[e.Idx]
+		perm[i] = e.Idx
+	}
+	return Build(sortedKeys, sortedPos, sortedMass, grid, nleaf), perm
+}

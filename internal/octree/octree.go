@@ -1,0 +1,467 @@
+// Package octree implements the Barnes–Hut octree of the tree-code: sparse
+// construction over Morton-sorted particles (NLEAF-bounded leaves), bottom-up
+// multipole moments (centre of mass + raw quadrupole tensor), and the
+// group-based breadth-first tree-walk with the Bonsai multipole acceptance
+// criterion (MAC).
+//
+// The construction mirrors the GPU pipeline of the paper: particles are
+// sorted along the space-filling curve first, so every octree cell is a
+// contiguous range [Start, Start+N) of the particle arrays and the eight
+// children of a cell are found by binary search on the 3-bit Morton digit of
+// the cell's level. Tree-walks are performed for *groups* of spatially
+// adjacent particles (the warp-sized "target groups" of the GPU kernel): one
+// interaction list is built per group against the group's bounding box and
+// then evaluated for every particle in the group.
+package octree
+
+import (
+	"sync"
+
+	"bonsai/internal/grav"
+	"bonsai/internal/keys"
+	"bonsai/internal/vec"
+)
+
+// DefaultNLeaf is the maximum number of particles in a leaf cell; the paper
+// uses 16 (§I, citing the Bonsai method paper).
+const DefaultNLeaf = 16
+
+// DefaultNGroup is the target-group size for the tree-walk, matching the
+// GPU's warp-multiple thread groups.
+const DefaultNGroup = 64
+
+// NilCell marks an absent child.
+const NilCell = int32(-1)
+
+// Cell is one octree node. Particles of the cell occupy the contiguous range
+// [Start, Start+N) of the tree's particle arrays.
+type Cell struct {
+	Level    int32 // depth; 0 is the root
+	Start, N int32
+	Children [8]int32 // child cell indices or NilCell
+	Leaf     bool
+
+	Box   vec.Box        // geometric (cubic) cell box
+	MP    grav.Multipole // mass, centre of mass, quadrupole about the COM
+	Side  float64        // cell side length l
+	Delta float64        // |COM − geometric centre| (the MAC offset δ)
+}
+
+// Tree is a built octree over Morton-sorted particles. The particle slices
+// are owned by the caller and must not be mutated while the tree is in use.
+type Tree struct {
+	Cells []Cell
+	Keys  []keys.Key
+	Pos   []vec.V3
+	Mass  []float64
+	Grid  keys.Grid
+	NLeaf int
+}
+
+// Build constructs an octree (structure and multipole properties) over
+// particles that are already sorted by their Morton keys (ks[i] must equal
+// grid.MortonOf(pos[i]) and be ascending). nleaf <= 0 selects DefaultNLeaf.
+//
+// Build is equivalent to BuildStructure followed by ComputeProperties; the
+// sim layer calls the two stages separately because the paper's Table II
+// times "Tree-construction" and "Tree-properties" as distinct GPU phases.
+func Build(ks []keys.Key, pos []vec.V3, mass []float64, grid keys.Grid, nleaf int) *Tree {
+	t := BuildStructure(ks, pos, mass, grid, nleaf)
+	t.ComputeProperties()
+	return t
+}
+
+// BuildStructure constructs the cell hierarchy and geometry only; multipole
+// moments (and the MAC offset δ that depends on them) are left zero until
+// ComputeProperties runs.
+func BuildStructure(ks []keys.Key, pos []vec.V3, mass []float64, grid keys.Grid, nleaf int) *Tree {
+	if nleaf <= 0 {
+		nleaf = DefaultNLeaf
+	}
+	t := &Tree{
+		Keys:  ks,
+		Pos:   pos,
+		Mass:  mass,
+		Grid:  grid,
+		NLeaf: nleaf,
+	}
+	if len(pos) == 0 {
+		return t
+	}
+	t.Cells = make([]Cell, 0, 2*len(pos)/nleaf+8)
+	t.build(0, 0, int32(len(pos)))
+	return t
+}
+
+// ComputeProperties fills in multipole moments bottom-up. Children are
+// always appended after their parent during the depth-first build, so a
+// reverse index sweep visits every child before its parent.
+func (t *Tree) ComputeProperties() {
+	for i := len(t.Cells) - 1; i >= 0; i-- {
+		if t.Cells[i].Leaf {
+			t.leafMoments(int32(i))
+		} else {
+			t.innerMoments(int32(i))
+		}
+		c := &t.Cells[i]
+		c.Delta = c.MP.COM.Sub(c.Box.Center()).Norm()
+	}
+}
+
+// build creates the cell covering sorted range [start, end) at the given
+// level and returns its index.
+func (t *Tree) build(level, start, end int32) int32 {
+	idx := int32(len(t.Cells))
+	t.Cells = append(t.Cells, Cell{
+		Level:    level,
+		Start:    start,
+		N:        end - start,
+		Children: [8]int32{NilCell, NilCell, NilCell, NilCell, NilCell, NilCell, NilCell, NilCell},
+	})
+	t.cellGeometry(idx)
+
+	if end-start <= int32(t.NLeaf) || level >= keys.Bits {
+		t.Cells[idx].Leaf = true
+		return idx
+	}
+
+	// Partition [start, end) into octants by the 3-bit digit at this level.
+	var bounds [9]int32
+	bounds[0] = start
+	for oct := 0; oct < 8; oct++ {
+		bounds[oct+1] = t.upperBound(bounds[oct], end, level, oct)
+	}
+	for oct := 0; oct < 8; oct++ {
+		lo, hi := bounds[oct], bounds[oct+1]
+		if lo == hi {
+			continue
+		}
+		child := t.build(level+1, lo, hi)
+		t.Cells[idx].Children[oct] = child
+	}
+	return idx
+}
+
+// upperBound returns the first index in [lo, end) whose key's octant digit at
+// the level exceeds oct (i.e. the end of octant oct's range).
+func (t *Tree) upperBound(lo, end, level int32, oct int) int32 {
+	for lo < end {
+		mid := (lo + end) / 2
+		if t.Keys[mid].Octant(int(level)) <= oct {
+			lo = mid + 1
+		} else {
+			end = mid
+		}
+	}
+	return lo
+}
+
+func (t *Tree) leafMoments(idx int32) {
+	c := &t.Cells[idx]
+	var m float64
+	var com vec.V3
+	for i := c.Start; i < c.Start+c.N; i++ {
+		m += t.Mass[i]
+		com = com.Add(t.Pos[i].Scale(t.Mass[i]))
+	}
+	if m > 0 {
+		com = com.Scale(1 / m)
+	}
+	var q vec.Sym3
+	for i := c.Start; i < c.Start+c.N; i++ {
+		d := t.Pos[i].Sub(com)
+		q = q.Add(vec.Outer(t.Mass[i], d))
+	}
+	c.MP = grav.Multipole{COM: com, M: m, Quad: q}
+}
+
+func (t *Tree) innerMoments(idx int32) {
+	c := &t.Cells[idx]
+	var m float64
+	var com vec.V3
+	for _, ch := range c.Children {
+		if ch == NilCell {
+			continue
+		}
+		mp := t.Cells[ch].MP
+		m += mp.M
+		com = com.Add(mp.COM.Scale(mp.M))
+	}
+	if m > 0 {
+		com = com.Scale(1 / m)
+	}
+	var q vec.Sym3
+	for _, ch := range c.Children {
+		if ch == NilCell {
+			continue
+		}
+		mp := t.Cells[ch].MP
+		d := mp.COM.Sub(com)
+		// Parallel-axis combination of raw second moments.
+		q = q.Add(mp.Quad).Add(vec.Outer(mp.M, d))
+	}
+	c.MP = grav.Multipole{COM: com, M: m, Quad: q}
+}
+
+func (t *Tree) cellGeometry(idx int32) {
+	c := &t.Cells[idx]
+	x, y, z := t.Grid.Coords(t.Pos[c.Start])
+	c.Box = t.Grid.CellBox(x, y, z, int(c.Level))
+	c.Side = c.Box.Size().X
+}
+
+// Root returns the index of the root cell, or NilCell for an empty tree.
+func (t *Tree) Root() int32 {
+	if len(t.Cells) == 0 {
+		return NilCell
+	}
+	return 0
+}
+
+// NumParticles returns the number of particles the tree was built over.
+func (t *Tree) NumParticles() int { return len(t.Pos) }
+
+// ---------------------------------------------------------------------------
+// Target groups
+
+// Group is a set of spatially adjacent target particles that share one
+// interaction list, the CPU analogue of the GPU kernel's particle groups.
+type Group struct {
+	Start, N int32
+	Box      vec.Box
+}
+
+// MakeGroups partitions the tree's particles into groups of at most ngroup
+// particles by cutting the tree at cells with N <= ngroup. The groups cover
+// every particle exactly once and inherit tight bounding boxes from the
+// particles they contain. ngroup <= 0 selects DefaultNGroup.
+func (t *Tree) MakeGroups(ngroup int) []Group {
+	if ngroup <= 0 {
+		ngroup = DefaultNGroup
+	}
+	var groups []Group
+	if len(t.Cells) == 0 {
+		return groups
+	}
+	var rec func(idx int32)
+	rec = func(idx int32) {
+		c := &t.Cells[idx]
+		if c.Leaf || int(c.N) <= ngroup {
+			groups = append(groups, t.makeGroup(c.Start, c.N))
+			return
+		}
+		for _, ch := range c.Children {
+			if ch != NilCell {
+				rec(ch)
+			}
+		}
+	}
+	rec(0)
+	return groups
+}
+
+// GroupsOf builds groups directly over an externally supplied ordered
+// position array by cutting it into fixed-size runs; used for targets that do
+// not have a tree of their own.
+func GroupsOf(pos []vec.V3, ngroup int) []Group {
+	if ngroup <= 0 {
+		ngroup = DefaultNGroup
+	}
+	var groups []Group
+	for start := 0; start < len(pos); start += ngroup {
+		n := ngroup
+		if start+n > len(pos) {
+			n = len(pos) - start
+		}
+		b := vec.EmptyBox()
+		for i := start; i < start+n; i++ {
+			b = b.Extend(pos[i])
+		}
+		groups = append(groups, Group{Start: int32(start), N: int32(n), Box: b})
+	}
+	return groups
+}
+
+func (t *Tree) makeGroup(start, n int32) Group {
+	b := vec.EmptyBox()
+	for i := start; i < start+n; i++ {
+		b = b.Extend(t.Pos[i])
+	}
+	return Group{Start: start, N: n, Box: b}
+}
+
+// ---------------------------------------------------------------------------
+// Tree walk
+
+// MACOpen reports whether a cell must be opened for a target group box under
+// the Bonsai MAC: open iff d < l/θ + δ, where d is the minimum distance from
+// the group box to the cell's centre of mass, l the cell side length and δ
+// the COM offset from the geometric centre.
+func MACOpen(groupBox vec.Box, c *Cell, theta float64) bool {
+	open := c.Side/theta + c.Delta
+	return groupBox.Dist2(c.MP.COM) < open*open
+}
+
+// WalkLists is the per-group interaction list produced by a traversal.
+type WalkLists struct {
+	CellIdx []int32 // cells accepted as multipoles
+	PartIdx []int32 // source particles from opened leaves
+}
+
+// walkScratch holds reusable traversal buffers.
+type walkScratch struct {
+	stack []int32
+	lists WalkLists
+	cells []grav.Multipole
+}
+
+var scratchPool = sync.Pool{New: func() any { return &walkScratch{} }}
+
+// Collect traverses the tree for one target group box and fills the
+// interaction lists. Exposed for the LET builder and the device simulator,
+// which need the lists rather than the accumulated forces.
+func (t *Tree) Collect(groupBox vec.Box, theta float64, out *WalkLists) {
+	out.CellIdx = out.CellIdx[:0]
+	out.PartIdx = out.PartIdx[:0]
+	if len(t.Cells) == 0 {
+		return
+	}
+	stack := make([]int32, 0, 64)
+	stack = append(stack, 0)
+	t.collect(groupBox, theta, &stack, out)
+}
+
+func (t *Tree) collect(groupBox vec.Box, theta float64, stack *[]int32, out *WalkLists) {
+	s := *stack
+	for len(s) > 0 {
+		idx := s[len(s)-1]
+		s = s[:len(s)-1]
+		c := &t.Cells[idx]
+		if c.MP.M == 0 {
+			continue
+		}
+		if !MACOpen(groupBox, c, theta) {
+			out.CellIdx = append(out.CellIdx, idx)
+			continue
+		}
+		if c.Leaf {
+			for i := c.Start; i < c.Start+c.N; i++ {
+				out.PartIdx = append(out.PartIdx, i)
+			}
+			continue
+		}
+		for _, ch := range c.Children {
+			if ch != NilCell {
+				s = append(s, ch)
+			}
+		}
+	}
+	*stack = s[:0]
+}
+
+// Walk computes gravitational forces exerted by this tree's mass distribution
+// on the target particles, one interaction list per group. Results are
+// *accumulated* into acc and pot (callers zero them first when appropriate).
+// The walk is parallel over groups with the given worker count (<=0 means 1;
+// the sim layer supplies its own pool size). Interaction counts are added to
+// st if non-nil.
+func (t *Tree) Walk(groups []Group, tpos []vec.V3, theta, eps2 float64,
+	acc []vec.V3, pot []float64, workers int, st *grav.Stats) {
+
+	if len(t.Cells) == 0 || len(groups) == 0 {
+		return
+	}
+	if workers <= 1 {
+		var local grav.Stats
+		sc := scratchPool.Get().(*walkScratch)
+		for g := range groups {
+			t.walkGroup(&groups[g], tpos, theta, eps2, acc, pot, sc, &local)
+		}
+		scratchPool.Put(sc)
+		if st != nil {
+			st.Add(local)
+		}
+		return
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	next := make(chan int, workers)
+	go func() {
+		for g := range groups {
+			next <- g
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local grav.Stats
+			sc := scratchPool.Get().(*walkScratch)
+			for g := range next {
+				t.walkGroup(&groups[g], tpos, theta, eps2, acc, pot, sc, &local)
+			}
+			scratchPool.Put(sc)
+			if st != nil {
+				mu.Lock()
+				st.Add(local)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func (t *Tree) walkGroup(g *Group, tpos []vec.V3, theta, eps2 float64,
+	acc []vec.V3, pot []float64, sc *walkScratch, st *grav.Stats) {
+
+	if sc.stack == nil {
+		sc.stack = make([]int32, 0, 128)
+	}
+	sc.stack = append(sc.stack[:0], 0)
+	sc.lists.CellIdx = sc.lists.CellIdx[:0]
+	sc.lists.PartIdx = sc.lists.PartIdx[:0]
+	t.collect(g.Box, theta, &sc.stack, &sc.lists)
+
+	// Materialize the cell multipole list once per group.
+	sc.cells = sc.cells[:0]
+	for _, ci := range sc.lists.CellIdx {
+		sc.cells = append(sc.cells, t.Cells[ci].MP)
+	}
+
+	for i := g.Start; i < g.Start+g.N; i++ {
+		p := tpos[i]
+		var f grav.Force
+		for _, c := range sc.cells {
+			f.Add(grav.PC(p, c, eps2))
+		}
+		for _, pj := range sc.lists.PartIdx {
+			f.Add(grav.PP(p, t.Pos[pj], t.Mass[pj], eps2))
+		}
+		acc[i] = acc[i].Add(f.Acc)
+		pot[i] += f.Pot
+	}
+	st.PC += uint64(len(sc.cells)) * uint64(g.N)
+	st.PP += uint64(len(sc.lists.PartIdx)) * uint64(g.N)
+}
+
+// TotalMass returns the mass of the root cell (zero for an empty tree).
+func (t *Tree) TotalMass() float64 {
+	if len(t.Cells) == 0 {
+		return 0
+	}
+	return t.Cells[0].MP.M
+}
+
+// Depth returns the maximum cell level in the tree plus one (zero for an
+// empty tree).
+func (t *Tree) Depth() int {
+	d := int32(-1)
+	for i := range t.Cells {
+		if t.Cells[i].Level > d {
+			d = t.Cells[i].Level
+		}
+	}
+	return int(d + 1)
+}

@@ -1,0 +1,165 @@
+// Package plot renders simple ASCII charts. It exists so cmd/benchfigs can
+// draw the paper's Fig. 4 as a figure — log-log scaling curves with linear
+// reference lines — rather than only printing tables.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Marker byte
+	X, Y   []float64
+}
+
+// Chart is a collection of series rendered onto a character grid.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Width  int // plot area width in characters (default 64)
+	Height int // plot area height in characters (default 20)
+
+	series []Series
+}
+
+// Add appends a series; markers default to letters a, b, c... when zero.
+func (c *Chart) Add(s Series) {
+	if s.Marker == 0 {
+		s.Marker = byte('a' + len(c.series))
+	}
+	c.series = append(c.series, s)
+}
+
+func (c *Chart) dims() (w, h int) {
+	w, h = c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	return
+}
+
+// bounds returns the data range over all series, after axis transforms.
+func (c *Chart) bounds() (x0, x1, y0, y1 float64, ok bool) {
+	x0, y0 = math.Inf(1), math.Inf(1)
+	x1, y1 = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.X {
+			x, y, good := c.transform(s.X[i], s.Y[i])
+			if !good {
+				continue
+			}
+			x0, x1 = math.Min(x0, x), math.Max(x1, x)
+			y0, y1 = math.Min(y0, y), math.Max(y1, y)
+			ok = true
+		}
+	}
+	if x1 == x0 {
+		x1 = x0 + 1
+	}
+	if y1 == y0 {
+		y1 = y0 + 1
+	}
+	return
+}
+
+// transform applies the log axes; points invalid under the transform
+// (non-positive on a log axis, NaN, Inf) are dropped.
+func (c *Chart) transform(x, y float64) (tx, ty float64, ok bool) {
+	if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+		return 0, 0, false
+	}
+	tx, ty = x, y
+	if c.LogX {
+		if x <= 0 {
+			return 0, 0, false
+		}
+		tx = math.Log10(x)
+	}
+	if c.LogY {
+		if y <= 0 {
+			return 0, 0, false
+		}
+		ty = math.Log10(y)
+	}
+	return tx, ty, true
+}
+
+// Render writes the chart.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.dims()
+	x0, x1, y0, y1, ok := c.bounds()
+	if !ok {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range c.series {
+		for i := range s.X {
+			tx, ty, good := c.transform(s.X[i], s.Y[i])
+			if !good {
+				continue
+			}
+			col := int((tx - x0) / (x1 - x0) * float64(width-1))
+			row := int((ty - y0) / (y1 - y0) * float64(height-1))
+			grid[height-1-row][col] = s.Marker
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintln(w, c.Title); err != nil {
+			return err
+		}
+	}
+	inv := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for r, line := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.3g", inv(y1, c.LogY))
+		case height - 1:
+			label = fmt.Sprintf("%10.3g", inv(y0, c.LogY))
+		case height / 2:
+			label = fmt.Sprintf("%10.3g", inv((y0+y1)/2, c.LogY))
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-*.3g%*.3g  %s\n",
+		strings.Repeat(" ", 10), width/2, inv(x0, c.LogX), width/2-1, inv(x1, c.LogX), c.XLabel); err != nil {
+		return err
+	}
+	// Legend, stable order.
+	names := make([]string, 0, len(c.series))
+	for _, s := range c.series {
+		names = append(names, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+	}
+	sort.Strings(names)
+	_, err := fmt.Fprintf(w, "%s  legend: %s   y: %s\n",
+		strings.Repeat(" ", 10), strings.Join(names, "  "), c.YLabel)
+	return err
+}

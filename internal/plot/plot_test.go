@@ -1,0 +1,99 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, c *Chart) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRenderPlacesMarkers(t *testing.T) {
+	c := &Chart{Title: "t", Width: 20, Height: 5}
+	c.Add(Series{Name: "lin", Marker: '*', X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}})
+	out := render(t, c)
+	if !strings.Contains(out, "*") {
+		t.Fatal("no markers rendered")
+	}
+	if !strings.Contains(out, "legend: *=lin") {
+		t.Fatalf("legend missing: %q", out)
+	}
+	// Bottom-left and top-right markers: first data row has rightmost star,
+	// last data row the leftmost.
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	bottom := lines[5]
+	if !strings.HasSuffix(strings.TrimRight(top, " "), "*") {
+		t.Errorf("top row should end with marker: %q", top)
+	}
+	if !strings.Contains(bottom, "|*") {
+		t.Errorf("bottom row should start with marker: %q", bottom)
+	}
+}
+
+func TestLogAxesStraightenPowerLaws(t *testing.T) {
+	// y = x on log-log axes must fall on the diagonal: row index of the
+	// marker decreases linearly with column.
+	c := &Chart{LogX: true, LogY: true, Width: 32, Height: 8}
+	xs := []float64{1, 10, 100, 1000}
+	c.Add(Series{Name: "ideal", Marker: '#', X: xs, Y: xs})
+	out := render(t, c)
+	rows := strings.Split(out, "\n")
+	var positions []int
+	for _, r := range rows {
+		if !strings.Contains(r, "|") { // data rows only, not legend/axis
+			continue
+		}
+		if i := strings.IndexByte(r, '#'); i >= 0 {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) < 3 {
+		t.Fatalf("markers missing: %q", out)
+	}
+	for i := 1; i < len(positions); i++ {
+		if positions[i] >= positions[i-1] {
+			t.Fatalf("diagonal not monotone: %v", positions)
+		}
+	}
+}
+
+func TestLogAxisDropsNonPositive(t *testing.T) {
+	c := &Chart{LogY: true, Width: 10, Height: 4}
+	c.Add(Series{Name: "s", Marker: 'x', X: []float64{1, 2, 3}, Y: []float64{-1, 0, 5}})
+	out := render(t, c)
+	markers := 0
+	for _, r := range strings.Split(out, "\n") {
+		if strings.Contains(r, "|") {
+			markers += strings.Count(r, "x")
+		}
+	}
+	if markers != 1 {
+		t.Fatalf("non-positive values should be dropped (got %d markers): %q", markers, out)
+	}
+}
+
+func TestEmptyChart(t *testing.T) {
+	c := &Chart{}
+	out := render(t, c)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+}
+
+func TestDefaultMarkers(t *testing.T) {
+	c := &Chart{Width: 10, Height: 4}
+	c.Add(Series{Name: "one", X: []float64{1}, Y: []float64{1}})
+	c.Add(Series{Name: "two", X: []float64{2}, Y: []float64{2}})
+	out := render(t, c)
+	if !strings.Contains(out, "a=one") || !strings.Contains(out, "b=two") {
+		t.Fatalf("default markers missing: %q", out)
+	}
+}

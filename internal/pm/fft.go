@@ -1,0 +1,86 @@
+package pm
+
+import "math"
+
+// fft performs an in-place radix-2 Cooley-Tukey transform of a, whose
+// length must be a power of two. inverse selects the inverse transform
+// (including the 1/n normalization).
+func fft(a []complex128, inverse bool) {
+	n := len(a)
+	if n&(n-1) != 0 {
+		panic("pm: fft length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	// Butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * w
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range a {
+			a[i] *= inv
+		}
+	}
+}
+
+// fft3 transforms a cubic n×n×n grid (row-major, x fastest) along all three
+// axes.
+func fft3(grid []complex128, n int, inverse bool) {
+	line := make([]complex128, n)
+	// x lines
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			base := (z*n + y) * n
+			fft(grid[base:base+n], inverse)
+		}
+	}
+	// y lines
+	for z := 0; z < n; z++ {
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				line[y] = grid[(z*n+y)*n+x]
+			}
+			fft(line, inverse)
+			for y := 0; y < n; y++ {
+				grid[(z*n+y)*n+x] = line[y]
+			}
+		}
+	}
+	// z lines
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			for z := 0; z < n; z++ {
+				line[z] = grid[(z*n+y)*n+x]
+			}
+			fft(line, inverse)
+			for z := 0; z < n; z++ {
+				grid[(z*n+y)*n+x] = line[z]
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package pm implements a periodic particle-mesh (PM) Poisson solver — the
+// mesh half of the TreePM method the paper weighs against the Barnes–Hut
+// tree (§I) and decides against for Milky Way simulations:
+//
+//	"the TreePM algorithm assumes periodic boundary conditions, which
+//	makes it computationally efficient for cosmological simulations.
+//	However, to simulate the Milky Way Galaxy we require open boundary
+//	conditions which are computationally expensive to use in a TreePM
+//	method ... the relative accuracy requirement ... would require a
+//	disproportionally large number of grid cells."
+//
+// The implementation is the textbook pipeline (Hockney & Eastwood):
+// cloud-in-cell mass deposit, FFT, multiplication by the periodic Green's
+// function −4πG/k², inverse FFT, central-difference gradient and CIC force
+// interpolation (the momentum-conserving stencil pairing, which also makes
+// self-forces vanish). The package exists so the repository can
+// *demonstrate* the paper's argument quantitatively: tests and benchmarks
+// show the force errors a periodic mesh makes on an isolated (open-boundary)
+// galaxy as a function of the padding the box needs.
+package pm
+
+import (
+	"math"
+
+	"bonsai/internal/vec"
+)
+
+// Mesh is a periodic PM solver over a cubic box.
+type Mesh struct {
+	N   int     // grid cells per dimension (power of two)
+	L   float64 // box side length
+	G   float64 // gravitational constant
+	Org vec.V3  // box origin (lower corner)
+}
+
+// NewMesh creates a PM solver. n must be a power of two.
+func NewMesh(n int, origin vec.V3, l, g float64) *Mesh {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("pm: grid size must be a positive power of two")
+	}
+	return &Mesh{N: n, L: l, G: g, Org: origin}
+}
+
+// Forces computes accelerations and potentials for the particles from the
+// periodic PM solution. Particles outside the box are wrapped (periodicity
+// is inherent to the method — that is the point of the comparison).
+func (m *Mesh) Forces(pos []vec.V3, mass []float64) ([]vec.V3, []float64) {
+	n := m.N
+	h := m.L / float64(n)
+	grid := make([]complex128, n*n*n)
+
+	// --- Cloud-in-cell deposit.
+	for p := range pos {
+		ix, iy, iz, fx, fy, fz := m.cell(pos[p])
+		w := mass[p] / (h * h * h) // density contribution
+		for dz := 0; dz < 2; dz++ {
+			wz := cicw(fz, dz)
+			z := wrap(iz+dz, n)
+			for dy := 0; dy < 2; dy++ {
+				wy := cicw(fy, dy)
+				y := wrap(iy+dy, n)
+				for dx := 0; dx < 2; dx++ {
+					wx := cicw(fx, dx)
+					x := wrap(ix+dx, n)
+					grid[(z*n+y)*n+x] += complex(w*wx*wy*wz, 0)
+				}
+			}
+		}
+	}
+
+	// --- Poisson solve in Fourier space.
+	fft3(grid, n, false)
+	phi := grid // reuse
+	kfac := 2 * math.Pi / m.L
+	for kz := 0; kz < n; kz++ {
+		wkz := kwave(kz, n) * kfac
+		for ky := 0; ky < n; ky++ {
+			wky := kwave(ky, n) * kfac
+			for kx := 0; kx < n; kx++ {
+				idx := (kz*n+ky)*n + kx
+				if kx == 0 && ky == 0 && kz == 0 {
+					phi[idx] = 0 // mean density mode removed (Jeans swindle)
+					continue
+				}
+				wkx := kwave(kx, n) * kfac
+				k2 := wkx*wkx + wky*wky + wkz*wkz
+				// No CIC deconvolution ("sharpening"): dividing by the
+				// sinc⁴ window amplifies Nyquist modes of point-like
+				// sources by two orders of magnitude (checkerboard noise).
+				// The retained CIC smoothing acts as an effective force
+				// softening of about one grid cell, which is the behaviour
+				// the TreePM comparison needs anyway.
+				phi[idx] *= complex(-4*math.Pi*m.G/k2, 0)
+			}
+		}
+	}
+
+	// --- Back to real space; the force is the central-difference gradient
+	// of the potential grid, CIC-interpolated to the particles. Matching
+	// the deposit and interpolation stencils with an antisymmetric
+	// difference operator makes the scheme momentum-conserving and free of
+	// self-forces (Hockney & Eastwood §5).
+	fft3(phi, n, true)
+
+	acc := make([]vec.V3, len(pos))
+	pot := make([]float64, len(pos))
+	axis := make([]complex128, n*n*n)
+	inv2h := 1 / (2 * h)
+	for comp := 0; comp < 3; comp++ {
+		for z := 0; z < n; z++ {
+			for y := 0; y < n; y++ {
+				for x := 0; x < n; x++ {
+					var lo, hi int
+					switch comp {
+					case 0:
+						lo = (z*n+y)*n + wrap(x-1, n)
+						hi = (z*n+y)*n + wrap(x+1, n)
+					case 1:
+						lo = (z*n+wrap(y-1, n))*n + x
+						hi = (z*n+wrap(y+1, n))*n + x
+					default:
+						lo = (wrap(z-1, n)*n+y)*n + x
+						hi = (wrap(z+1, n)*n+y)*n + x
+					}
+					// a = −∇φ
+					axis[(z*n+y)*n+x] = complex(-(real(phi[hi])-real(phi[lo]))*inv2h, 0)
+				}
+			}
+		}
+		for p := range pos {
+			acc[p] = addComp(acc[p], comp, m.interp(axis, pos[p]))
+		}
+	}
+	for p := range pos {
+		pot[p] = m.interp(phi, pos[p])
+	}
+	return acc, pot
+}
+
+// cell returns the lower CIC cell index and fractional offsets of a point.
+func (m *Mesh) cell(p vec.V3) (ix, iy, iz int, fx, fy, fz float64) {
+	h := m.L / float64(m.N)
+	gx := (p.X - m.Org.X) / h
+	gy := (p.Y - m.Org.Y) / h
+	gz := (p.Z - m.Org.Z) / h
+	ix = int(math.Floor(gx))
+	iy = int(math.Floor(gy))
+	iz = int(math.Floor(gz))
+	fx, fy, fz = gx-float64(ix), gy-float64(iy), gz-float64(iz)
+	ix, iy, iz = wrap(ix, m.N), wrap(iy, m.N), wrap(iz, m.N)
+	return
+}
+
+// interp CIC-interpolates a real grid quantity at point p.
+func (m *Mesh) interp(grid []complex128, p vec.V3) float64 {
+	n := m.N
+	ix, iy, iz, fx, fy, fz := m.cell(p)
+	var v float64
+	for dz := 0; dz < 2; dz++ {
+		wz := cicw(fz, dz)
+		z := wrap(iz+dz, n)
+		for dy := 0; dy < 2; dy++ {
+			wy := cicw(fy, dy)
+			y := wrap(iy+dy, n)
+			for dx := 0; dx < 2; dx++ {
+				wx := cicw(fx, dx)
+				x := wrap(ix+dx, n)
+				v += wx * wy * wz * real(grid[(z*n+y)*n+x])
+			}
+		}
+	}
+	return v
+}
+
+func cicw(f float64, d int) float64 {
+	if d == 0 {
+		return 1 - f
+	}
+	return f
+}
+
+func wrap(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// kwave maps a grid index to its signed integer wavenumber.
+func kwave(k, n int) float64 {
+	if k > n/2 {
+		return float64(k - n)
+	}
+	return float64(k)
+}
+
+func addComp(v vec.V3, comp int, val float64) vec.V3 {
+	switch comp {
+	case 0:
+		v.X += val
+	case 1:
+		v.Y += val
+	default:
+		v.Z += val
+	}
+	return v
+}

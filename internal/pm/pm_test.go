@@ -1,0 +1,214 @@
+package pm
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"bonsai/internal/direct"
+	"bonsai/internal/ic"
+	"bonsai/internal/vec"
+)
+
+// naiveDFT is the O(n²) reference transform.
+func naiveDFT(a []complex128, inverse bool) []complex128 {
+	n := len(a)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64(k*j) / float64(n)
+			out[k] += a[j] * cmplx.Exp(complex(0, ang))
+		}
+	}
+	if inverse {
+		for k := range out {
+			out[k] /= complex(float64(n), 0)
+		}
+	}
+	return out
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 4, 8, 32, 128} {
+		a := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(a, false)
+		got := append([]complex128(nil), a...)
+		fft(got, false)
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9*(1+cmplx.Abs(want[i])) {
+				t.Fatalf("n=%d: fft[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]complex128, 256)
+	for i := range a {
+		a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b := append([]complex128(nil), a...)
+	fft(b, false)
+	fft(b, true)
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+func TestFFT3RoundTripAndParseval(t *testing.T) {
+	const n = 8
+	rng := rand.New(rand.NewSource(3))
+	g := make([]complex128, n*n*n)
+	var sum2 float64
+	for i := range g {
+		g[i] = complex(rng.NormFloat64(), 0)
+		sum2 += real(g[i]) * real(g[i])
+	}
+	f := append([]complex128(nil), g...)
+	fft3(f, n, false)
+	// Parseval: Σ|x|² = Σ|X|²/N³
+	var fsum2 float64
+	for i := range f {
+		fsum2 += real(f[i])*real(f[i]) + imag(f[i])*imag(f[i])
+	}
+	if math.Abs(fsum2/float64(n*n*n)-sum2) > 1e-9*sum2 {
+		t.Errorf("Parseval violated: %v vs %v", fsum2/float64(n*n*n), sum2)
+	}
+	fft3(f, n, true)
+	for i := range g {
+		if cmplx.Abs(f[i]-g[i]) > 1e-10 {
+			t.Fatalf("3D round trip failed at %d", i)
+		}
+	}
+}
+
+func TestPMTwoBodyForceMidRange(t *testing.T) {
+	// Two well-separated particles deep inside a periodic box: the PM force
+	// at separations of several grid cells but far from the box scale must
+	// approximate Newton to ~10%.
+	const n = 64
+	const L = 1.0
+	m := NewMesh(n, vec.V3{}, L, 1)
+	sep := 8.0 / n * L // 8 grid cells
+	pos := []vec.V3{
+		{X: 0.5 - sep/2, Y: 0.5, Z: 0.5},
+		{X: 0.5 + sep/2, Y: 0.5, Z: 0.5},
+	}
+	mass := []float64{1, 1}
+	acc, _ := m.Forces(pos, mass)
+	newton := 1 / (sep * sep)
+	if err := math.Abs(acc[0].X-newton) / newton; err > 0.1 {
+		t.Errorf("PM force error %v at 8-cell separation (got %v, want %v)",
+			err, acc[0].X, newton)
+	}
+	// Attraction, equal and opposite.
+	if acc[0].X <= 0 || acc[1].X >= 0 {
+		t.Errorf("forces not attractive: %v %v", acc[0].X, acc[1].X)
+	}
+	if math.Abs(acc[0].X+acc[1].X) > 1e-9*math.Abs(acc[0].X) {
+		t.Errorf("momentum not conserved: %v vs %v", acc[0].X, acc[1].X)
+	}
+}
+
+func TestPMForceResolutionLimit(t *testing.T) {
+	// Below the grid scale the PM force is heavily suppressed — the reason
+	// TreePM needs its tree at short range.
+	const n = 32
+	m := NewMesh(n, vec.V3{}, 1, 1)
+	sep := 0.5 / n // half a grid cell
+	pos := []vec.V3{
+		{X: 0.5 - sep/2, Y: 0.5, Z: 0.5},
+		{X: 0.5 + sep/2, Y: 0.5, Z: 0.5},
+	}
+	acc, _ := m.Forces(pos, []float64{1, 1})
+	newton := 1 / (sep * sep)
+	if acc[0].X > 0.25*newton {
+		t.Errorf("sub-grid PM force %v should be far below Newton %v", acc[0].X, newton)
+	}
+}
+
+// galaxyPMError measures the rms PM force error against direct summation
+// for an isolated Plummer galaxy in a box of size L with an n³ grid.
+func galaxyPMError(t *testing.T, n int, boxL float64) float64 {
+	t.Helper()
+	const nPart = 2000
+	parts := ic.Plummer(nPart, 1, 1, 1, 9)
+	org := vec.V3{X: -boxL / 2, Y: -boxL / 2, Z: -boxL / 2}
+	pos := make([]vec.V3, 0, nPart)
+	mass := make([]float64, 0, nPart)
+	for _, p := range parts {
+		if p.Pos.Norm() < 5 { // keep the central body (extent ~10)
+			pos = append(pos, p.Pos)
+			mass = append(mass, p.Mass)
+		}
+	}
+	m := NewMesh(n, org, boxL, 1)
+	acc, _ := m.Forces(pos, mass)
+	// Reference: direct summation softened at the (common) grid scale, so
+	// sub-grid graininess — which no mesh can represent and which padding
+	// cannot fix — is excluded from the comparison. What remains in the
+	// outer envelope (r > 2.5 scale radii) is the long-range error induced
+	// by the periodic images.
+	h := boxL / float64(n)
+	wantAcc, _, _ := direct.Forces(pos, mass, h*h, 0)
+	var sum2, ref2 float64
+	for i := range acc {
+		if pos[i].Norm() < 2.5 {
+			continue
+		}
+		sum2 += acc[i].Sub(wantAcc[i]).Norm2()
+		ref2 += wantAcc[i].Norm2()
+	}
+	return math.Sqrt(sum2 / ref2)
+}
+
+func TestOpenBoundaryPenalty(t *testing.T) {
+	// The paper's §I argument, quantified. A periodic mesh simulating an
+	// ISOLATED galaxy suffers image forces unless the box is padded with
+	// empty space; padding at constant spatial resolution multiplies the
+	// cell count by the padding factor cubed — the "disproportionally large
+	// number of grid cells". Hold h = L/n fixed while growing the padding:
+	// the error must drop, and the cost explodes 64x from the tight to the
+	// well-padded box.
+	errTight := galaxyPMError(t, 32, 12.5)   // galaxy fills 80% of the box
+	errPadded := galaxyPMError(t, 64, 25)    // 2x padding, 8x the cells
+	errGenerous := galaxyPMError(t, 128, 50) // 4x padding, 64x the cells
+	// Doubling the padding must remove the bulk of the image error; beyond
+	// that the residual floor is the CIC assignment error, which no amount
+	// of padding (only more resolution, i.e. even more cells) reduces.
+	if errPadded > 0.85*errTight {
+		t.Errorf("2x padding should cut the image error: %v -> %v", errTight, errPadded)
+	}
+	if errGenerous > 0.95*errTight {
+		t.Errorf("4x padding should stay below the tight box: %v -> %v", errTight, errGenerous)
+	}
+	// Even with 64x the memory/FFT cost, the mesh error stays orders of
+	// magnitude above the tree-code's ~1e-3 at theta=0.4 for the same
+	// system — the quantitative case for Barnes-Hut on open boundaries.
+	if errGenerous < 5e-3 {
+		t.Errorf("unexpectedly accurate PM (%v); the comparison would be moot", errGenerous)
+	}
+	t.Logf("rms force error: tight(32³)=%.3f, padded(64³)=%.3f, generous(128³)=%.3f",
+		errTight, errPadded, errGenerous)
+}
+
+func TestMeshValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two grid")
+		}
+	}()
+	NewMesh(48, vec.V3{}, 1, 1)
+}

@@ -1,0 +1,174 @@
+// Package psort provides a parallel LSD radix sort for (space-filling-curve
+// key, particle index) pairs.
+//
+// Sorting particles along the SFC every step is the first stage of the
+// paper's GPU pipeline ("Sorting SFC" row of Table II); here it runs on the
+// host worker pool that stands in for the device. The sort is stable, works
+// on 64-bit keys 8 bits at a time, and skips passes whose byte is constant
+// across the whole input (common: the high byte of 63-bit keys).
+package psort
+
+import (
+	"runtime"
+	"sync"
+)
+
+// KV is a sort item: an SFC key and the index of the particle that owns it.
+type KV struct {
+	Key uint64
+	Idx int32
+}
+
+const radixBits = 8
+const radix = 1 << radixBits
+
+// Sort sorts kv in place by Key (ascending, stable) using up to workers
+// goroutines. workers <= 0 selects GOMAXPROCS.
+func Sort(kv []KV, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(kv)
+	if n < 2 {
+		return
+	}
+	if n < 4096 {
+		insertionFallback(kv)
+		return
+	}
+
+	// Determine which byte positions actually vary.
+	var orAll, andAll uint64 = 0, ^uint64(0)
+	for _, e := range kv {
+		orAll |= e.Key
+		andAll &= e.Key
+	}
+	varying := orAll ^ andAll
+
+	buf := make([]KV, n)
+	src, dst := kv, buf
+	chunks := workers
+	bounds := chunkBounds(n, chunks)
+
+	for pass := 0; pass < 8; pass++ {
+		shift := uint(pass * radixBits)
+		if (varying>>shift)&0xff == 0 {
+			continue // this byte is constant; pass is a no-op
+		}
+		// Per-chunk histograms.
+		hist := make([][radix]int, chunks)
+		var wg sync.WaitGroup
+		for c := 0; c < chunks; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				h := &hist[c]
+				for _, e := range src[bounds[c]:bounds[c+1]] {
+					h[(e.Key>>shift)&0xff]++
+				}
+			}(c)
+		}
+		wg.Wait()
+
+		// Exclusive prefix sums: offset for (digit d, chunk c).
+		off := make([][radix]int, chunks)
+		total := 0
+		for d := 0; d < radix; d++ {
+			for c := 0; c < chunks; c++ {
+				off[c][d] = total
+				total += hist[c][d]
+			}
+		}
+
+		// Scatter.
+		for c := 0; c < chunks; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				o := &off[c]
+				for _, e := range src[bounds[c]:bounds[c+1]] {
+					d := (e.Key >> shift) & 0xff
+					dst[o[d]] = e
+					o[d]++
+				}
+			}(c)
+		}
+		wg.Wait()
+		src, dst = dst, src
+	}
+
+	if &src[0] != &kv[0] {
+		copy(kv, src)
+	}
+}
+
+// insertionFallback sorts small inputs with binary-insertion-free simple
+// algorithm adequate below the parallel threshold. It is a stable merge sort
+// to preserve the stability contract.
+func insertionFallback(kv []KV) {
+	n := len(kv)
+	if n < 2 {
+		return
+	}
+	tmp := make([]KV, n)
+	mergeSort(kv, tmp)
+}
+
+func mergeSort(a, tmp []KV) {
+	n := len(a)
+	if n < 16 {
+		// insertion sort (stable)
+		for i := 1; i < n; i++ {
+			e := a[i]
+			j := i - 1
+			for j >= 0 && a[j].Key > e.Key {
+				a[j+1] = a[j]
+				j--
+			}
+			a[j+1] = e
+		}
+		return
+	}
+	m := n / 2
+	mergeSort(a[:m], tmp[:m])
+	mergeSort(a[m:], tmp[m:])
+	copy(tmp, a)
+	i, j, k := 0, m, 0
+	for i < m && j < n {
+		if tmp[j].Key < tmp[i].Key {
+			a[k] = tmp[j]
+			j++
+		} else {
+			a[k] = tmp[i]
+			i++
+		}
+		k++
+	}
+	for i < m {
+		a[k] = tmp[i]
+		i++
+		k++
+	}
+	for j < n {
+		a[k] = tmp[j]
+		j++
+		k++
+	}
+}
+
+func chunkBounds(n, chunks int) []int {
+	b := make([]int, chunks+1)
+	for c := 0; c <= chunks; c++ {
+		b[c] = c * n / chunks
+	}
+	return b
+}
+
+// Permute applies the permutation encoded in sorted (Key, Idx) pairs to a set
+// of particle attribute arrays: out[i] = in[kv[i].Idx]. It is the "reorder
+// particles into SFC order" step that follows the key sort.
+func Permute[T any](kv []KV, in, out []T) {
+	for i, e := range kv {
+		out[i] = in[e.Idx]
+	}
+}

@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"bonsai/internal/body"
+	"bonsai/internal/domain"
+	"bonsai/internal/keys"
+	"bonsai/internal/lettree"
+	"bonsai/internal/mpi"
+	"bonsai/internal/octree"
+	"bonsai/internal/psort"
+	"bonsai/internal/vec"
+)
+
+// rank is one simulated MPI process with one simulated GPU. Its step
+// pipeline reproduces the paper's: SFC sort → domain update → tree build →
+// tree properties → boundary allgather → local gravity overlapped with the
+// LET exchange → integration.
+type rank struct {
+	cfg  *Config
+	comm *mpi.Comm
+
+	parts []body.Particle // local particles, Morton-sorted after sortLocal
+	grid  keys.Grid
+	dec   domain.Decomposition
+
+	// SoA views rebuilt each step (tree order == parts order).
+	pos  []vec.V3
+	mass []float64
+	mk   []keys.Key
+	acc  []vec.V3
+	pot  []float64
+
+	tree   *octree.Tree
+	groups []octree.Group
+
+	// step-scoped
+	stats RankStats
+}
+
+const (
+	tagLETBase = 1 << 20 // user-tag space for LET pushes, offset by step parity
+)
+
+// stepForces runs the full force pipeline for one step and leaves
+// accelerations/potentials in r.acc/r.pot (aligned with r.parts).
+func (r *rank) stepForces(step int) {
+	r.stats = RankStats{}
+	t0 := time.Now()
+
+	// --- Global bounding box and key grid.
+	gbox := domain.GlobalBox(r.comm, body.Bounds(r.parts))
+	r.grid = keys.NewGrid(gbox)
+
+	// --- Domain update (decomposition + exchange) every DomainFreq steps.
+	tD := time.Now()
+	if step%r.cfg.DomainFreq == 0 {
+		hk := make([]keys.Key, len(r.parts))
+		for i := range r.parts {
+			hk[i] = r.grid.HilbertOf(r.parts[i].Pos)
+		}
+		var weights []float64
+		if step > 0 {
+			weights = make([]float64, len(r.parts))
+			for i := range r.parts {
+				weights[i] = r.parts[i].Weight
+			}
+		}
+		r.dec = domain.SampleDecompose(r.comm, hk, weights, domain.Options{PX: r.cfg.PX})
+		if r.cfg.SnapLevel > 0 {
+			// Align domain boundaries with the global octree lattice
+			// (§III.B.1: domains as branches of a hypothetical global
+			// octree, binary-consistent across process counts).
+			r.dec = r.dec.SnapToLevel(r.cfg.SnapLevel)
+		}
+		r.parts = domain.Exchange(r.comm, r.dec, r.parts, r.grid)
+	}
+	r.stats.Times.Domain = time.Since(tD)
+
+	// --- Morton sort into tree order.
+	tS := time.Now()
+	r.sortLocal()
+	r.stats.Times.Sort = time.Since(tS)
+
+	// --- Tree construction.
+	tT := time.Now()
+	r.tree = octree.BuildStructure(r.mk, r.pos, r.mass, r.grid, r.cfg.NLeaf)
+	r.stats.Times.TreeBuild = time.Since(tT)
+
+	// --- Tree properties (multipoles).
+	tP := time.Now()
+	r.tree.ComputeProperties()
+	r.groups = r.tree.MakeGroups(r.cfg.NGroup)
+	r.stats.Times.TreeProps = time.Since(tP)
+
+	// --- Gravity: local tree walk overlapped with the LET exchange.
+	// The local box is recomputed after the exchange: sufficiency checks and
+	// LET construction must see the box that actually bounds the particles
+	// the groups were built from.
+	r.gravity(step, body.Bounds(r.parts))
+
+	r.stats.Times.Total = time.Since(t0)
+	r.stats.NLocal = len(r.parts)
+
+	// Per-particle work weights for the next decomposition: rank-level flop
+	// balancing as in the paper (§III.B.1).
+	if n := len(r.parts); n > 0 {
+		w := r.stats.Grav.Flops() / float64(n)
+		for i := range r.parts {
+			r.parts[i].Weight = w
+		}
+	}
+}
+
+// sortLocal computes Morton keys and reorders r.parts (and the SoA views)
+// into key order.
+func (r *rank) sortLocal() {
+	n := len(r.parts)
+	kv := make([]psort.KV, n)
+	for i := range r.parts {
+		kv[i] = psort.KV{Key: uint64(r.grid.MortonOf(r.parts[i].Pos)), Idx: int32(i)}
+	}
+	psort.Sort(kv, r.cfg.WorkersPerRank)
+
+	sorted := make([]body.Particle, n)
+	psort.Permute(kv, r.parts, sorted)
+	r.parts = sorted
+
+	r.mk = resize(r.mk, n)
+	r.pos = resize(r.pos, n)
+	r.mass = resize(r.mass, n)
+	r.acc = resize(r.acc, n)
+	r.pot = resize(r.pot, n)
+	for i := range sorted {
+		r.mk[i] = keys.Key(kv[i].Key)
+		r.pos[i] = sorted[i].Pos
+		r.mass[i] = sorted[i].Mass
+		r.acc[i] = vec.V3{}
+		r.pot[i] = 0
+	}
+}
+
+// gravity performs the overlapped local + LET force computation.
+func (r *rank) gravity(step int, localBox vec.Box) {
+	p := r.comm.Size()
+	me := r.comm.Rank()
+	theta, eps2 := r.cfg.Theta, r.cfg.Eps*r.cfg.Eps
+	tag := tagLETBase + step%2
+
+	// --- Boundary tree exchange (blocking collective; not hidden).
+	tB := time.Now()
+	myBoundary := lettree.BoundaryTree(r.tree, r.cfg.BoundaryDepth, localBox)
+	boundaries := mpi.Allgather(r.comm, myBoundary, myBoundary.WireBytes())
+	r.stats.LETBytesSent += int64(myBoundary.WireBytes()) * int64(p-1)
+	boundaryTime := time.Since(tB)
+
+	// --- Decide, for every remote pair, whether boundary trees suffice.
+	// Both sides of each pair evaluate the same predicate on the same
+	// allgathered data, so no handshake is needed (the paper's symmetric
+	// double-check).
+	sendTo := make([]int, 0, p)   // ranks that need a full LET from us
+	expectFrom := 0               // full LETs that will arrive for us
+	useBoundary := make([]int, 0) // ranks whose boundary tree serves as LET
+	for j := 0; j < p; j++ {
+		if j == me {
+			continue
+		}
+		if !lettree.Sufficient(myBoundary, boundaries[j].Box, theta) {
+			sendTo = append(sendTo, j)
+		}
+		if lettree.Sufficient(boundaries[j], boundaries[me].Box, theta) {
+			useBoundary = append(useBoundary, j)
+		} else {
+			expectFrom++
+		}
+	}
+
+	// --- Communication thread: build and push full LETs while the local
+	// walk proceeds on the "device".
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, j := range sendTo {
+			let := lettree.BuildFor(r.tree, boundaries[j].Box, theta, localBox)
+			r.comm.Send(j, tag, let, let.WireBytes())
+			r.stats.LETsSent++
+			r.stats.LETBytesSent += int64(let.WireBytes())
+		}
+	}()
+
+	// --- Local gravity on the device.
+	tL := time.Now()
+	r.tree.Walk(r.groups, r.pos, theta, eps2, r.acc, r.pot, r.cfg.WorkersPerRank, &r.stats.Grav)
+	// Remove the softened self-interaction contributed by each particle's
+	// own leaf (acc contribution is exactly zero; potential is -m/ε).
+	if r.cfg.Eps > 0 {
+		for i := range r.pot {
+			r.pot[i] += r.mass[i] / r.cfg.Eps
+		}
+	}
+	r.stats.Times.GravLocal = time.Since(tL)
+
+	// --- Remote gravity: sufficient boundary trees first (they are already
+	// here), then full LETs in arrival order.
+	var letWalk time.Duration
+	var waitTime time.Duration
+	for _, j := range useBoundary {
+		tW := time.Now()
+		forced := lettree.Walk(boundaries[j], r.groups, r.pos, theta, eps2,
+			r.acc, r.pot, r.cfg.WorkersPerRank, &r.stats.Grav)
+		letWalk += time.Since(tW)
+		if forced != 0 {
+			panic(fmt.Sprintf("sim: rank %d: boundary of %d judged sufficient but forced %d accepts", me, j, forced))
+		}
+		r.stats.BoundaryUsed++
+	}
+	for k := 0; k < expectFrom; k++ {
+		tR := time.Now()
+		_, msg := r.comm.RecvAny(tag)
+		waitTime += time.Since(tR)
+		let := msg.(*lettree.LET)
+		tW := time.Now()
+		forced := lettree.Walk(let, r.groups, r.pos, theta, eps2,
+			r.acc, r.pot, r.cfg.WorkersPerRank, &r.stats.Grav)
+		letWalk += time.Since(tW)
+		if forced != 0 {
+			panic(fmt.Sprintf("sim: rank %d: received LET forced %d accepts", me, forced))
+		}
+		r.stats.LETsRecv++
+	}
+	// Wait for our own sends to finish building (they overlap the walks).
+	tWd := time.Now()
+	<-done
+	waitTime += time.Since(tWd)
+
+	// Scale by the unit system's gravitational constant (forces and
+	// potentials are linear in G; kernels compute the G=1 sums).
+	if g := r.cfg.G; g != 1 {
+		for i := range r.acc {
+			r.acc[i] = r.acc[i].Scale(g)
+			r.pot[i] *= g
+		}
+	}
+
+	// Static external field (analytic halo; §I "type 1" simulations).
+	// The factor 2 on the potential compensates the later ½ in the energy
+	// sum, which is only correct for the pairwise self-gravity part.
+	if ext := r.cfg.External; ext != nil {
+		for i := range r.acc {
+			a, p := ext(r.pos[i])
+			r.acc[i] = r.acc[i].Add(a)
+			r.pot[i] += 2 * p
+		}
+	}
+
+	r.stats.Times.GravLET = letWalk
+	r.stats.Times.NonHiddenComm = boundaryTime + waitTime
+}
+
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

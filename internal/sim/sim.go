@@ -1,0 +1,313 @@
+// Package sim is the parallel gravitational tree-code: the paper's Bonsai
+// pipeline running over the in-process message-passing runtime, one
+// simulated GPU-equipped node per rank.
+//
+// Every step each rank executes, with phase timers matching Table II:
+//
+//  1. global bounding box (collective) and SFC key grid
+//  2. domain update: two-stage sampling decomposition over Peano–Hilbert
+//     keys, flop-weighted with a 30% particle cap, and all-to-all particle
+//     exchange
+//  3. Morton sort of local particles ("Sorting SFC")
+//  4. octree construction ("Tree-construction")
+//  5. multipole computation ("Tree-properties")
+//  6. gravity: boundary-tree allgather, then the local tree-walk overlapped
+//     with building/pushing/receiving full LETs; remote forces are computed
+//     from each LET as it arrives ("Compute gravity Local-tree" /
+//     "Compute gravity LETs" / "Non-hidden LET comm")
+//  7. second-order leapfrog (KDK) integration
+//
+// Forces are independent of the rank count up to multipole acceptance error,
+// which the test suite verifies against direct summation.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"bonsai/internal/body"
+	"bonsai/internal/domain"
+	"bonsai/internal/mpi"
+	"bonsai/internal/vec"
+)
+
+// Config are the tunables of a simulation. Zero values select defaults.
+type Config struct {
+	Ranks          int     // simulated MPI processes (default 1)
+	WorkersPerRank int     // compute workers per rank (default 1)
+	Theta          float64 // opening angle (default 0.4, the paper's choice)
+	Eps            float64 // Plummer softening length (default 0.01)
+	DT             float64 // leapfrog time step (default 1e-3)
+	NLeaf          int     // max particles per leaf (default 16)
+	NGroup         int     // target group size (default 64)
+	BoundaryDepth  int     // boundary-tree depth (default 4)
+	DomainFreq     int     // steps between domain updates (default 4)
+	PX             int     // decomposition DD-process count (0 = auto)
+	SnapLevel      int     // snap domain bounds to level-k octree cells (0 = off)
+
+	// G is the gravitational constant of the unit system (default 1).
+	// Milky Way models in galactic units (kpc, km/s, 1e10 M⊙) need
+	// units.G = 43007.1. Forces are linear in G, so it scales the
+	// accelerations and potentials after each force evaluation.
+	G float64
+
+	// External, if non-nil, adds a static analytic field to the particle
+	// self-gravity: the paper's §I "type 1" simulations (analytic dark
+	// halo + live disk). It must be thread-safe; it receives a position
+	// and returns the acceleration and specific potential of the field.
+	// The returned values are NOT scaled by G (supply physical values).
+	External func(pos vec.V3) (acc vec.V3, pot float64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ranks <= 0 {
+		c.Ranks = 1
+	}
+	if c.WorkersPerRank <= 0 {
+		c.WorkersPerRank = 1
+	}
+	if c.Theta <= 0 {
+		c.Theta = 0.4
+	}
+	if c.Eps <= 0 {
+		c.Eps = 0.01
+	}
+	if c.DT == 0 {
+		c.DT = 1e-3
+	}
+	if c.NLeaf <= 0 {
+		c.NLeaf = 16
+	}
+	if c.NGroup <= 0 {
+		c.NGroup = 64
+	}
+	if c.BoundaryDepth <= 0 {
+		c.BoundaryDepth = 4
+	}
+	if c.DomainFreq <= 0 {
+		c.DomainFreq = 4
+	}
+	if c.G == 0 {
+		c.G = 1
+	}
+	return c
+}
+
+// Simulation is a running N-body system distributed over simulated ranks.
+type Simulation struct {
+	cfg   Config
+	world *mpi.World
+	ranks []*rank
+	step  int
+	time  float64
+	first bool
+}
+
+// New distributes the particles over cfg.Ranks simulated processes. The
+// initial placement is an arbitrary even split; the first step's domain
+// update moves every particle to its Hilbert-order owner.
+func New(cfg Config, parts []body.Particle) (*Simulation, error) {
+	cfg = cfg.withDefaults()
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("sim: no particles")
+	}
+	if cfg.Ranks > len(parts) {
+		return nil, fmt.Errorf("sim: %d ranks for %d particles", cfg.Ranks, len(parts))
+	}
+	for i := range parts {
+		if !parts[i].Pos.IsFinite() || !parts[i].Vel.IsFinite() ||
+			math.IsNaN(parts[i].Mass) || math.IsInf(parts[i].Mass, 0) || parts[i].Mass < 0 {
+			return nil, fmt.Errorf("sim: particle %d (id %d) has non-finite or negative state", i, parts[i].ID)
+		}
+	}
+	s := &Simulation{
+		cfg:   cfg,
+		world: mpi.NewWorld(cfg.Ranks),
+		first: true,
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		lo := r * len(parts) / cfg.Ranks
+		hi := (r + 1) * len(parts) / cfg.Ranks
+		local := make([]body.Particle, hi-lo)
+		copy(local, parts[lo:hi])
+		s.ranks = append(s.ranks, &rank{
+			cfg:   &s.cfg,
+			comm:  s.world.Comm(r),
+			parts: local,
+			dec:   domain.Uniform(cfg.Ranks),
+		})
+	}
+	return s, nil
+}
+
+// Config returns the effective (default-filled) configuration.
+func (s *Simulation) Config() Config { return s.cfg }
+
+// World exposes the message-passing runtime, for traffic accounting.
+func (s *Simulation) World() *mpi.World { return s.world }
+
+// Time returns the current simulation time.
+func (s *Simulation) Time() float64 { return s.time }
+
+// StepCount returns the number of completed steps.
+func (s *Simulation) StepCount() int { return s.step }
+
+// parallel runs fn on every rank concurrently and waits.
+func (s *Simulation) parallel(fn func(r *rank)) {
+	var wg sync.WaitGroup
+	for _, r := range s.ranks {
+		wg.Add(1)
+		go func(r *rank) {
+			defer wg.Done()
+			fn(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// forces runs the distributed force pipeline on all ranks.
+func (s *Simulation) forces() []RankStats {
+	s.parallel(func(r *rank) { r.stepForces(s.step) })
+	stats := make([]RankStats, len(s.ranks))
+	for i, r := range s.ranks {
+		stats[i] = r.stats
+	}
+	return stats
+}
+
+// Step advances the system by one leapfrog step (kick-drift-kick) and
+// returns the aggregated statistics of the force computation.
+func (s *Simulation) Step() StepStats {
+	if s.first {
+		// Prime accelerations at t=0.
+		s.forces()
+		s.first = false
+	}
+	dt := s.cfg.DT
+	// Kick half + drift full (uses accelerations from the previous force
+	// evaluation, which are aligned with each rank's current particle order).
+	s.parallel(func(r *rank) {
+		for i := range r.parts {
+			r.parts[i].Vel = r.parts[i].Vel.Add(r.acc[i].Scale(dt / 2))
+			r.parts[i].Pos = r.parts[i].Pos.Add(r.parts[i].Vel.Scale(dt))
+		}
+	})
+	// New forces at t+dt.
+	rs := s.forces()
+	// Kick half.
+	s.parallel(func(r *rank) {
+		for i := range r.parts {
+			r.parts[i].Vel = r.parts[i].Vel.Add(r.acc[i].Scale(dt / 2))
+		}
+	})
+	s.step++
+	s.time += dt
+	return aggregate(s.step, rs)
+}
+
+// Run advances n steps and returns the per-step statistics.
+func (s *Simulation) Run(n int) []StepStats {
+	out := make([]StepStats, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s.Step())
+	}
+	return out
+}
+
+// ComputeForces runs the force pipeline once without advancing time. Useful
+// for scaling measurements (the paper's benchmarks time force iterations).
+func (s *Simulation) ComputeForces() StepStats {
+	rs := s.forces()
+	s.first = false
+	return aggregate(s.step, rs)
+}
+
+// Particles gathers all particles, sorted by ID, with their current state.
+func (s *Simulation) Particles() []body.Particle {
+	var all []body.Particle
+	for _, r := range s.ranks {
+		all = append(all, r.parts...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return all
+}
+
+// Accelerations gathers the most recent accelerations and potentials,
+// ordered to match Particles().
+func (s *Simulation) Accelerations() ([]vec.V3, []float64) {
+	type rec struct {
+		id  int64
+		acc vec.V3
+		pot float64
+	}
+	var all []rec
+	for _, r := range s.ranks {
+		for i := range r.parts {
+			all = append(all, rec{r.parts[i].ID, r.acc[i], r.pot[i]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	acc := make([]vec.V3, len(all))
+	pot := make([]float64, len(all))
+	for i, a := range all {
+		acc[i] = a.acc
+		pot[i] = a.pot
+	}
+	return acc, pot
+}
+
+// Energy returns the total kinetic and potential energy (pairwise potential
+// halved) from the most recent force evaluation.
+func (s *Simulation) Energy() (kin, pot float64) {
+	for _, r := range s.ranks {
+		for i := range r.parts {
+			kin += 0.5 * r.parts[i].Mass * r.parts[i].Vel.Norm2()
+			pot += 0.5 * r.parts[i].Mass * r.pot[i]
+		}
+	}
+	return kin, pot
+}
+
+// Momentum returns the total linear momentum.
+func (s *Simulation) Momentum() vec.V3 {
+	var p vec.V3
+	for _, r := range s.ranks {
+		for i := range r.parts {
+			p = p.Add(r.parts[i].Vel.Scale(r.parts[i].Mass))
+		}
+	}
+	return p
+}
+
+// Owners returns, for every particle ordered by ID, the rank that currently
+// owns it — the domain-decomposition map.
+func (s *Simulation) Owners() []int {
+	type rec struct {
+		id   int64
+		rank int
+	}
+	var all []rec
+	for ri, r := range s.ranks {
+		for i := range r.parts {
+			all = append(all, rec{r.parts[i].ID, ri})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	out := make([]int, len(all))
+	for i, a := range all {
+		out[i] = a.rank
+	}
+	return out
+}
+
+// RankCounts returns the current particle count per rank (load balance
+// diagnostics).
+func (s *Simulation) RankCounts() []int {
+	out := make([]int, len(s.ranks))
+	for i, r := range s.ranks {
+		out[i] = len(r.parts)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"time"
+
+	"bonsai/internal/grav"
+)
+
+// PhaseTimes is the per-step wall-clock breakdown of one rank, mirroring the
+// rows of the paper's Table II.
+type PhaseTimes struct {
+	Sort          time.Duration // SFC key computation + radix sort + reorder
+	Domain        time.Duration // sampling decomposition + particle exchange
+	TreeBuild     time.Duration // octree construction
+	TreeProps     time.Duration // multipole computation
+	GravLocal     time.Duration // tree-walk over the local tree
+	GravLET       time.Duration // tree-walks over boundary trees and received LETs
+	NonHiddenComm time.Duration // LET communication time not hidden behind walks
+	Other         time.Duration // integration, bookkeeping, imbalance waits
+	Total         time.Duration
+}
+
+// Add accumulates another breakdown (for averaging over steps).
+func (p *PhaseTimes) Add(q PhaseTimes) {
+	p.Sort += q.Sort
+	p.Domain += q.Domain
+	p.TreeBuild += q.TreeBuild
+	p.TreeProps += q.TreeProps
+	p.GravLocal += q.GravLocal
+	p.GravLET += q.GravLET
+	p.NonHiddenComm += q.NonHiddenComm
+	p.Other += q.Other
+	p.Total += q.Total
+}
+
+// Scale divides all phases by n (for averaging).
+func (p PhaseTimes) Scale(n int) PhaseTimes {
+	if n <= 0 {
+		return p
+	}
+	d := time.Duration(n)
+	return PhaseTimes{
+		Sort: p.Sort / d, Domain: p.Domain / d,
+		TreeBuild: p.TreeBuild / d, TreeProps: p.TreeProps / d,
+		GravLocal: p.GravLocal / d, GravLET: p.GravLET / d,
+		NonHiddenComm: p.NonHiddenComm / d, Other: p.Other / d,
+		Total: p.Total / d,
+	}
+}
+
+// RankStats is everything one rank reports for one step.
+type RankStats struct {
+	Times        PhaseTimes
+	Grav         grav.Stats // interactions evaluated by this rank
+	NLocal       int        // particles owned after the step
+	LETsSent     int        // full LETs pushed to other ranks
+	LETsRecv     int        // full LETs received
+	BoundaryUsed int        // remote ranks served by their boundary tree alone
+	LETBytesSent int64      // serialized LET + boundary traffic
+}
+
+// StepStats aggregates a step over all ranks.
+type StepStats struct {
+	Step     int
+	Ranks    int
+	N        int // total particles
+	Times    PhaseTimes
+	MaxTimes PhaseTimes // slowest rank per phase (load imbalance view)
+	Grav     grav.Stats
+
+	LETsSent     int
+	BoundaryUsed int
+	BytesSent    int64 // all rank-to-rank traffic this step (metered)
+
+	PPPerParticle float64
+	PCPerParticle float64
+
+	// Application/walk performance in Gflop/s computed from the paper's
+	// interaction-count conventions and measured wall-clock: Walk uses only
+	// the gravity-walk time (the "GPU kernels" line of Fig. 4), App uses the
+	// full step time.
+	WalkGflops float64
+	AppGflops  float64
+}
+
+// aggregate combines per-rank stats into a StepStats.
+func aggregate(step int, rs []RankStats) StepStats {
+	out := StepStats{Step: step, Ranks: len(rs)}
+	for i := range rs {
+		out.N += rs[i].NLocal
+		out.Times.Add(rs[i].Times)
+		out.Grav.Add(rs[i].Grav)
+		out.LETsSent += rs[i].LETsSent
+		out.BoundaryUsed += rs[i].BoundaryUsed
+		out.BytesSent += rs[i].LETBytesSent
+		maxDur(&out.MaxTimes.Sort, rs[i].Times.Sort)
+		maxDur(&out.MaxTimes.Domain, rs[i].Times.Domain)
+		maxDur(&out.MaxTimes.TreeBuild, rs[i].Times.TreeBuild)
+		maxDur(&out.MaxTimes.TreeProps, rs[i].Times.TreeProps)
+		maxDur(&out.MaxTimes.GravLocal, rs[i].Times.GravLocal)
+		maxDur(&out.MaxTimes.GravLET, rs[i].Times.GravLET)
+		maxDur(&out.MaxTimes.NonHiddenComm, rs[i].Times.NonHiddenComm)
+		maxDur(&out.MaxTimes.Other, rs[i].Times.Other)
+		maxDur(&out.MaxTimes.Total, rs[i].Times.Total)
+	}
+	out.Times = out.Times.Scale(len(rs))
+	if out.N > 0 {
+		out.PPPerParticle = float64(out.Grav.PP) / float64(out.N)
+		out.PCPerParticle = float64(out.Grav.PC) / float64(out.N)
+	}
+	flops := out.Grav.Flops()
+	walkTime := (out.Times.GravLocal + out.Times.GravLET).Seconds()
+	if walkTime > 0 {
+		// Ranks walk concurrently, so the aggregate rate is the total flop
+		// count over the average per-rank busy time.
+		out.WalkGflops = flops / walkTime / 1e9
+	}
+	if t := out.MaxTimes.Total.Seconds(); t > 0 {
+		out.AppGflops = flops / t / 1e9
+	}
+	return out
+}
+
+func maxDur(dst *time.Duration, v time.Duration) {
+	if v > *dst {
+		*dst = v
+	}
+}

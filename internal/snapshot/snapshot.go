@@ -1,0 +1,136 @@
+// Package snapshot stores and restores simulation state as a compact binary
+// stream. The paper stores intermediate snapshots "for the dual purpose of
+// restarting and detailed analysis" (§VI.C); this package provides the same
+// facility for the reproduction's runs.
+//
+// Format (little-endian):
+//
+//	magic   [8]byte  "BONSAI1\n"
+//	time    float64
+//	step    int64
+//	n       int64
+//	n × { id int64, mass float64, pos [3]float64, vel [3]float64 }
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"bonsai/internal/body"
+)
+
+var magic = [8]byte{'B', 'O', 'N', 'S', 'A', 'I', '1', '\n'}
+
+// Header carries the simulation metadata stored alongside the particles.
+type Header struct {
+	Time float64
+	Step int64
+}
+
+// Write serializes the particle set to w.
+func Write(w io.Writer, h Header, parts []body.Particle) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, h.Time); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, h.Step); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(len(parts))); err != nil {
+		return err
+	}
+	rec := make([]byte, 8*8)
+	for i := range parts {
+		p := &parts[i]
+		le := binary.LittleEndian
+		le.PutUint64(rec[0:], uint64(p.ID))
+		le.PutUint64(rec[8:], fbits(p.Mass))
+		le.PutUint64(rec[16:], fbits(p.Pos.X))
+		le.PutUint64(rec[24:], fbits(p.Pos.Y))
+		le.PutUint64(rec[32:], fbits(p.Pos.Z))
+		le.PutUint64(rec[40:], fbits(p.Vel.X))
+		le.PutUint64(rec[48:], fbits(p.Vel.Y))
+		le.PutUint64(rec[56:], fbits(p.Vel.Z))
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a snapshot from r.
+func Read(r io.Reader) (Header, []body.Particle, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return Header{}, nil, fmt.Errorf("snapshot: reading magic: %w", err)
+	}
+	if got != magic {
+		return Header{}, nil, fmt.Errorf("snapshot: bad magic %q", got)
+	}
+	var h Header
+	if err := binary.Read(br, binary.LittleEndian, &h.Time); err != nil {
+		return Header{}, nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &h.Step); err != nil {
+		return Header{}, nil, err
+	}
+	var n int64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return Header{}, nil, err
+	}
+	if n < 0 {
+		return Header{}, nil, fmt.Errorf("snapshot: negative particle count %d", n)
+	}
+	parts := make([]body.Particle, n)
+	rec := make([]byte, 8*8)
+	for i := range parts {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return Header{}, nil, fmt.Errorf("snapshot: particle %d: %w", i, err)
+		}
+		le := binary.LittleEndian
+		p := &parts[i]
+		p.ID = int64(le.Uint64(rec[0:]))
+		p.Mass = bitsf(le.Uint64(rec[8:]))
+		p.Pos.X = bitsf(le.Uint64(rec[16:]))
+		p.Pos.Y = bitsf(le.Uint64(rec[24:]))
+		p.Pos.Z = bitsf(le.Uint64(rec[32:]))
+		p.Vel.X = bitsf(le.Uint64(rec[40:]))
+		p.Vel.Y = bitsf(le.Uint64(rec[48:]))
+		p.Vel.Z = bitsf(le.Uint64(rec[56:]))
+	}
+	return h, parts, nil
+}
+
+// Save writes a snapshot to a file path.
+func Save(path string, h Header, parts []body.Particle) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, h, parts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a snapshot from a file path.
+func Load(path string) (Header, []body.Particle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func fbits(f float64) uint64 { return math.Float64bits(f) }
+func bitsf(u uint64) float64 { return math.Float64frombits(u) }

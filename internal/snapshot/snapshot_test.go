@@ -1,0 +1,135 @@
+package snapshot
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"bonsai/internal/body"
+	"bonsai/internal/ic"
+)
+
+func TestRoundTrip(t *testing.T) {
+	parts := ic.Plummer(1000, 2.5, 1.2, 1, 42)
+	h := Header{Time: 3.25, Step: 17}
+	var buf bytes.Buffer
+	if err := Write(&buf, h, parts); err != nil {
+		t.Fatal(err)
+	}
+	gh, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh != h {
+		t.Fatalf("header %+v != %+v", gh, h)
+	}
+	if len(got) != len(parts) {
+		t.Fatalf("count %d != %d", len(got), len(parts))
+	}
+	for i := range parts {
+		// Weight is intentionally not persisted.
+		want := parts[i]
+		want.Weight = 0
+		if got[i] != want {
+			t.Fatalf("particle %d: %+v != %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestRoundTripSpecialValues(t *testing.T) {
+	f := func(id int64, m, x, y, z float64) bool {
+		p := []body.Particle{{ID: id, Mass: m}}
+		p[0].Pos.X, p[0].Pos.Y, p[0].Pos.Z = x, y, z
+		var buf bytes.Buffer
+		if err := Write(&buf, Header{}, p); err != nil {
+			return false
+		}
+		_, got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		eq := func(a, b float64) bool {
+			return a == b || (math.IsNaN(a) && math.IsNaN(b))
+		}
+		return got[0].ID == id && eq(got[0].Mass, m) &&
+			eq(got[0].Pos.X, x) && eq(got[0].Pos.Y, y) && eq(got[0].Pos.Z, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	parts := ic.Plummer(500, 1, 1, 1, 7)
+	if err := Save(path, Header{Time: 1, Step: 2}, parts); err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Step != 2 || len(got) != 500 {
+		t.Fatalf("loaded %d particles, header %+v", len(got), h)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, _, err := Read(bytes.NewReader([]byte("NOTASNAP plus more data"))); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	parts := ic.Plummer(100, 1, 1, 1, 8)
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{}, parts); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{4, 20, 30, len(full) - 5} {
+		if _, _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("expected error for stream cut at %d", cut)
+		}
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{Time: 5}, nil); err != nil {
+		t.Fatal(err)
+	}
+	h, parts, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Time != 5 || len(parts) != 0 {
+		t.Fatal("empty snapshot mishandled")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, _, err := Load(filepath.Join(os.TempDir(), "definitely-not-here-12345.bin")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func BenchmarkWriteRead100k(b *testing.B) {
+	parts := ic.Plummer(100_000, 1, 1, 1, 1)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Write(&buf, Header{}, parts); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := Read(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
