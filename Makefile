@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: tier1 vet build test race bench-overlap
+
+# tier1 is the pre-merge gate: static checks, full build and test suite,
+# plus the race-detector subset covering the concurrent gravity pipeline
+# (8+ ranks, multiple walk workers), the MPI mailbox, and the parallel sort.
+tier1: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./internal/sim ./internal/mpi ./internal/psort
+
+# Serial vs pipelined gravity phase; nonhidden_ms should drop and
+# overlap_% rise in the Pipelined variants.
+bench-overlap:
+	$(GO) test -run XXX -bench 'BenchmarkOverlap' -benchtime 3x .

@@ -257,6 +257,44 @@ func BenchmarkAblation_BoundaryDepth6(b *testing.B) { benchBoundaryDepth(b, 6) }
 // implementation: see BenchmarkSampling* in internal/domain.
 
 // ---------------------------------------------------------------------------
+// §III.B.3 overlap: the pipelined gravity phase (receiver goroutine +
+// LET-builder pool + interleaved walks) against the strict
+// local-walk-then-LETs baseline. nonhidden_ms is the communication time the
+// pipeline failed to hide behind compute; overlap_% is the fraction of
+// received LETs walked while the local walk was still running.
+
+func benchOverlap(b *testing.B, ranks int, serial bool) {
+	const perRank = 3000
+	parts := NewMilkyWay(perRank*ranks, 5)
+	s, err := New(Config{
+		Ranks: ranks, WorkersPerRank: 2, Theta: 0.4,
+		Softening: SofteningForN(len(parts)), GravConst: G,
+		SerialLET: serial,
+	}, parts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.ComputeForces() // settle domains
+	var st StepStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st = s.ComputeForces()
+	}
+	ms := func(d interface{ Seconds() float64 }) float64 { return d.Seconds() * 1e3 }
+	b.ReportMetric(ms(st.Times.NonHiddenComm), "nonhidden_ms")
+	b.ReportMetric(st.OverlapFrac*100, "overlap_%")
+	b.ReportMetric(ms(st.RecvIdle), "recvIdle_ms")
+	b.ReportMetric(ms(st.MaxTimes.Total), "total_ms")
+}
+
+func BenchmarkOverlap_Serial_R8(b *testing.B)     { benchOverlap(b, 8, true) }
+func BenchmarkOverlap_Pipelined_R8(b *testing.B)  { benchOverlap(b, 8, false) }
+func BenchmarkOverlap_Serial_R16(b *testing.B)    { benchOverlap(b, 16, true) }
+func BenchmarkOverlap_Pipelined_R16(b *testing.B) { benchOverlap(b, 16, false) }
+func BenchmarkOverlap_Serial_R32(b *testing.B)    { benchOverlap(b, 32, true) }
+func BenchmarkOverlap_Pipelined_R32(b *testing.B) { benchOverlap(b, 32, false) }
+
+// ---------------------------------------------------------------------------
 // §I baseline: the TreePM mesh alternative the paper argues against for
 // open-boundary galaxy simulations. Same isolated Milky Way sample, the
 // tree-walk vs a periodic PM solve in a 2x-padded box.

@@ -69,6 +69,17 @@ type Config struct {
 	// self-gravity — the paper's §I "type 1" setup (analytic dark halo +
 	// live disk). See GalaxyModel.StaticHalo. Must be thread-safe.
 	External ExternalField
+
+	// LETWorkers sizes each rank's LET-builder pool (the communication
+	// thread group of the paper's §III.B.3 pipeline). 0 selects
+	// max(2, WorkersPerRank), capped at the destination count.
+	LETWorkers int
+
+	// SerialLET disables all communication/compute overlap in the gravity
+	// phase: LETs are built and pushed on the compute thread before the
+	// local walk, and incoming ones are walked only after it. Kept as the
+	// measurable non-overlapped baseline for the overlap benchmarks.
+	SerialLET bool
 }
 
 // SofteningForN returns the softening (kpc) matching the paper's resolution
@@ -125,6 +136,16 @@ type StepStats struct {
 	BoundaryUsed int
 	BytesSent    int64
 
+	// Overlap efficiency of the gravity phase: LETsOverlapped of the
+	// LETsRecv received full LETs were walked while the local tree-walk
+	// was still running (OverlapFrac is their ratio); RecvIdle is the mean
+	// per-rank time the receiver goroutine spent blocked on arrivals,
+	// hidden behind the local walk.
+	LETsRecv       int
+	LETsOverlapped int
+	OverlapFrac    float64
+	RecvIdle       time.Duration
+
 	// WalkGflops is the aggregate rate over gravity-walk time only (the
 	// "GPU kernels" series of Fig. 4); AppGflops uses the full step time.
 	WalkGflops float64
@@ -150,6 +171,8 @@ func New(cfg Config, parts []Particle) (*Simulation, error) {
 		DomainFreq:     cfg.DomainFreq,
 		G:              cfg.GravConst,
 		External:       wrapExternal(cfg.External),
+		LETWorkers:     cfg.LETWorkers,
+		SerialLET:      cfg.SerialLET,
 	}, toBody(parts))
 	if err != nil {
 		return nil, err
@@ -264,20 +287,24 @@ func fromPhase(p sim.PhaseTimes) PhaseTimes {
 
 func fromStats(st sim.StepStats) StepStats {
 	return StepStats{
-		Step:          st.Step,
-		Ranks:         st.Ranks,
-		N:             st.N,
-		Times:         fromPhase(st.Times),
-		MaxTimes:      fromPhase(st.MaxTimes),
-		PP:            st.Grav.PP,
-		PC:            st.Grav.PC,
-		PPPerParticle: st.PPPerParticle,
-		PCPerParticle: st.PCPerParticle,
-		Flops:         st.Grav.Flops(),
-		LETsSent:      st.LETsSent,
-		BoundaryUsed:  st.BoundaryUsed,
-		BytesSent:     st.BytesSent,
-		WalkGflops:    st.WalkGflops,
-		AppGflops:     st.AppGflops,
+		Step:           st.Step,
+		Ranks:          st.Ranks,
+		N:              st.N,
+		Times:          fromPhase(st.Times),
+		MaxTimes:       fromPhase(st.MaxTimes),
+		PP:             st.Grav.PP,
+		PC:             st.Grav.PC,
+		PPPerParticle:  st.PPPerParticle,
+		PCPerParticle:  st.PCPerParticle,
+		Flops:          st.Grav.Flops(),
+		LETsSent:       st.LETsSent,
+		BoundaryUsed:   st.BoundaryUsed,
+		BytesSent:      st.BytesSent,
+		LETsRecv:       st.LETsRecv,
+		LETsOverlapped: st.LETsOverlapped,
+		OverlapFrac:    st.OverlapFrac,
+		RecvIdle:       st.RecvIdle,
+		WalkGflops:     st.WalkGflops,
+		AppGflops:      st.AppGflops,
 	}
 }

@@ -161,6 +161,8 @@ func printTable2Measured(perRank, maxRanks int) {
 	row("Total (slowest rank)", func(s bonsai.StepStats) float64 { return s.MaxTimes.Total.Seconds() * 1e3 })
 	row("Particle-Particle /part", func(s bonsai.StepStats) float64 { return s.PPPerParticle })
 	row("Particle-Cell /part", func(s bonsai.StepStats) float64 { return s.PCPerParticle })
+	row("LET overlap [%]", func(s bonsai.StepStats) float64 { return s.OverlapFrac * 100 })
+	row("Receiver idle (hidden)", func(s bonsai.StepStats) float64 { return s.RecvIdle.Seconds() * 1e3 })
 }
 
 // paper values for the modeled Table II print-out.

@@ -3,6 +3,7 @@ package lettree
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"bonsai/internal/grav"
@@ -308,6 +309,59 @@ func BenchmarkMarshalUnmarshal(b *testing.B) {
 		buf := let.Marshal()
 		if _, err := Unmarshal(buf); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func TestBuildForConcurrent(t *testing.T) {
+	// The gravity pipeline builds LETs for all destinations from a worker
+	// pool while the local walk reads the same tree. BuildFor must therefore
+	// be safe for concurrent use on one tree and yield the same LETs it
+	// yields serially.
+	pos, mass := blob(8000, vec.V3{}, 1, 9)
+	tr, _ := octree.BuildFrom(pos, mass, 16, 2)
+	lb := boxOf(pos)
+	boxes := make([]vec.Box, 16)
+	for i := range boxes {
+		d := 1.5 + 3*float64(i)
+		boxes[i] = vec.Box{
+			Min: vec.V3{X: d - 1, Y: -1, Z: -1},
+			Max: vec.V3{X: d + 1, Y: 1, Z: 1},
+		}
+	}
+	serial := make([]*LET, len(boxes))
+	for i, b := range boxes {
+		serial[i] = BuildFor(tr, b, 0.4, lb)
+	}
+
+	conc := make([]*LET, len(boxes))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(boxes); i += 4 {
+				conc[i] = BuildFor(tr, boxes[i], 0.4, lb)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for i := range boxes {
+		s, c := serial[i], conc[i]
+		if len(s.Cells) != len(c.Cells) || len(s.Parts) != len(c.Parts) {
+			t.Fatalf("box %d: concurrent LET shape (%d cells, %d parts) != serial (%d, %d)",
+				i, len(c.Cells), len(c.Parts), len(s.Cells), len(s.Parts))
+		}
+		for j := range s.Cells {
+			if s.Cells[j] != c.Cells[j] {
+				t.Fatalf("box %d: cell %d differs", i, j)
+			}
+		}
+		for j := range s.Parts {
+			if s.Parts[j] != c.Parts[j] {
+				t.Fatalf("box %d: particle %d differs", i, j)
+			}
 		}
 	}
 }

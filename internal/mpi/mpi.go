@@ -45,6 +45,19 @@ func newMailbox() *mailbox {
 	return mb
 }
 
+// take removes and returns queue[i]. The vacated tail slot is zeroed so the
+// mailbox never retains a stale reference to a delivered payload — large LET
+// payloads would otherwise stay reachable by the GC until the slot happened
+// to be overwritten by a later send. Callers must hold mb.mu.
+func (mb *mailbox) take(i int) message {
+	m := mb.queue[i]
+	copy(mb.queue[i:], mb.queue[i+1:])
+	last := len(mb.queue) - 1
+	mb.queue[last] = message{}
+	mb.queue = mb.queue[:last]
+	return m
+}
+
 // World is a communicator universe of size ranks.
 type World struct {
 	size      int
@@ -86,6 +99,16 @@ func (w *World) TotalBytes() int64 {
 	var t int64
 	for i := 0; i < w.size; i++ {
 		t += w.bytesSent[i].Load()
+	}
+	return t
+}
+
+// TotalMessages returns the message count summed over all ranks, including
+// messages generated internally by collectives.
+func (w *World) TotalMessages() int64 {
+	var t int64
+	for i := 0; i < w.size; i++ {
+		t += w.msgsSent[i].Load()
 	}
 	return t
 }
@@ -152,8 +175,7 @@ func (c *Comm) Recv(from, tag int) any {
 	for {
 		for i, m := range mb.queue {
 			if m.from == from && m.tag == tag {
-				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
-				return m.data
+				return mb.take(i).data
 			}
 		}
 		mb.cond.Wait()
@@ -168,7 +190,7 @@ func (c *Comm) RecvAny(tag int) (from int, data any) {
 	for {
 		for i, m := range mb.queue {
 			if m.tag == tag {
-				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				m = mb.take(i)
 				return m.from, m.data
 			}
 		}
@@ -184,7 +206,7 @@ func (c *Comm) TryRecvAny(tag int) (from int, data any, ok bool) {
 	defer mb.mu.Unlock()
 	for i, m := range mb.queue {
 		if m.tag == tag {
-			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			m = mb.take(i)
 			return m.from, m.data, true
 		}
 	}

@@ -297,3 +297,75 @@ func BenchmarkPingPong(b *testing.B) {
 	}
 	<-done
 }
+
+func TestDequeueClearsVacatedSlot(t *testing.T) {
+	// Receiving from the middle of the queue compacts it; the vacated tail
+	// slot of the backing array must not keep a stale payload reference
+	// alive (large LET payloads would otherwise linger until overwritten).
+	w := NewWorld(2)
+	c0 := w.Comm(0)
+	c1 := w.Comm(1)
+	c0.Send(1, 1, "first", 5)
+	c0.Send(1, 2, "second", 6)
+	c0.Send(1, 3, "third", 5)
+
+	if got := c1.Recv(0, 2).(string); got != "second" {
+		t.Fatalf("got %q", got)
+	}
+	mb := w.mail[1]
+	mb.mu.Lock()
+	if n := len(mb.queue); n != 2 {
+		mb.mu.Unlock()
+		t.Fatalf("queue length %d, want 2", n)
+	}
+	tail := mb.queue[:3][2] // vacated slot beyond len, within the backing array
+	mb.mu.Unlock()
+	if tail.data != nil || tail.tag != 0 || tail.from != 0 {
+		t.Errorf("vacated slot retains stale message %+v", tail)
+	}
+
+	// Same check for the non-blocking path.
+	if _, _, ok := c1.TryRecvAny(1); !ok {
+		t.Fatal("TryRecvAny found nothing")
+	}
+	mb.mu.Lock()
+	tail = mb.queue[:2][1]
+	mb.mu.Unlock()
+	if tail.data != nil {
+		t.Errorf("TryRecvAny left stale payload %v in vacated slot", tail.data)
+	}
+}
+
+func TestConcurrentSendRecvAnyMix(t *testing.T) {
+	// Every rank streams tagged messages to every other rank while draining
+	// its own mailbox with a mix of RecvAny and TryRecvAny. Exercises the
+	// mailbox lock/condvar paths under -race.
+	const (
+		size = 8
+		per  = 50 // messages each rank sends to each peer
+	)
+	spawn(size, func(c *Comm) {
+		go func() {
+			for i := 0; i < per; i++ {
+				for to := 0; to < size; to++ {
+					if to != c.Rank() {
+						c.Send(to, 9, c.Rank()*1000+i, 8)
+					}
+				}
+			}
+		}()
+		want := per * (size - 1)
+		got := 0
+		for got < want {
+			if _, _, ok := c.TryRecvAny(9); ok {
+				got++
+				continue
+			}
+			c.RecvAny(9)
+			got++
+		}
+		if _, _, ok := c.TryRecvAny(9); ok {
+			t.Errorf("rank %d: extra message beyond %d", c.Rank(), want)
+		}
+	})
+}

@@ -302,10 +302,15 @@ func MACOpen(groupBox vec.Box, c *Cell, theta float64) bool {
 	return groupBox.Dist2(c.MP.COM) < open*open
 }
 
-// WalkLists is the per-group interaction list produced by a traversal.
+// WalkLists is the per-group interaction list produced by a traversal. A
+// WalkLists value owns its traversal scratch, so reusing one across Collect
+// calls (and across steps, as the sim and device layers do) is allocation
+// free once the buffers have grown to their working size.
 type WalkLists struct {
 	CellIdx []int32 // cells accepted as multipoles
 	PartIdx []int32 // source particles from opened leaves
+
+	stack []int32 // traversal scratch, reused across Collect calls
 }
 
 // walkScratch holds reusable traversal buffers.
@@ -326,9 +331,11 @@ func (t *Tree) Collect(groupBox vec.Box, theta float64, out *WalkLists) {
 	if len(t.Cells) == 0 {
 		return
 	}
-	stack := make([]int32, 0, 64)
-	stack = append(stack, 0)
-	t.collect(groupBox, theta, &stack, out)
+	if out.stack == nil {
+		out.stack = make([]int32, 0, 64)
+	}
+	out.stack = append(out.stack[:0], 0)
+	t.collect(groupBox, theta, &out.stack, out)
 }
 
 func (t *Tree) collect(groupBox vec.Box, theta float64, stack *[]int32, out *WalkLists) {

@@ -25,6 +25,14 @@ const radix = 1 << radixBits
 // Sort sorts kv in place by Key (ascending, stable) using up to workers
 // goroutines. workers <= 0 selects GOMAXPROCS.
 func Sort(kv []KV, workers int) {
+	var scratch []KV
+	SortScratch(kv, &scratch, workers)
+}
+
+// SortScratch is Sort with a caller-owned ping-pong buffer. The buffer is
+// grown as needed and survives the call, so a caller sorting every step (the
+// sim layer keeps one per rank) pays the allocation once instead of per sort.
+func SortScratch(kv []KV, scratch *[]KV, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -32,8 +40,12 @@ func Sort(kv []KV, workers int) {
 	if n < 2 {
 		return
 	}
+	if cap(*scratch) < n {
+		*scratch = make([]KV, n)
+	}
+	buf := (*scratch)[:n]
 	if n < 4096 {
-		insertionFallback(kv)
+		mergeSort(kv, buf)
 		return
 	}
 
@@ -45,10 +57,11 @@ func Sort(kv []KV, workers int) {
 	}
 	varying := orAll ^ andAll
 
-	buf := make([]KV, n)
 	src, dst := kv, buf
 	chunks := workers
 	bounds := chunkBounds(n, chunks)
+	hist := make([][radix]int, chunks)
+	off := make([][radix]int, chunks)
 
 	for pass := 0; pass < 8; pass++ {
 		shift := uint(pass * radixBits)
@@ -56,7 +69,9 @@ func Sort(kv []KV, workers int) {
 			continue // this byte is constant; pass is a no-op
 		}
 		// Per-chunk histograms.
-		hist := make([][radix]int, chunks)
+		for c := range hist {
+			hist[c] = [radix]int{}
+		}
 		var wg sync.WaitGroup
 		for c := 0; c < chunks; c++ {
 			wg.Add(1)
@@ -71,7 +86,6 @@ func Sort(kv []KV, workers int) {
 		wg.Wait()
 
 		// Exclusive prefix sums: offset for (digit d, chunk c).
-		off := make([][radix]int, chunks)
 		total := 0
 		for d := 0; d < radix; d++ {
 			for c := 0; c < chunks; c++ {
@@ -102,18 +116,9 @@ func Sort(kv []KV, workers int) {
 	}
 }
 
-// insertionFallback sorts small inputs with binary-insertion-free simple
-// algorithm adequate below the parallel threshold. It is a stable merge sort
-// to preserve the stability contract.
-func insertionFallback(kv []KV) {
-	n := len(kv)
-	if n < 2 {
-		return
-	}
-	tmp := make([]KV, n)
-	mergeSort(kv, tmp)
-}
-
+// mergeSort is the small-input fallback below the parallel radix threshold:
+// a stable merge sort (preserving the stability contract) over a caller
+// -provided temporary of the same length.
 func mergeSort(a, tmp []KV) {
 	n := len(a)
 	if n < 16 {

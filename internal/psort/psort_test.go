@@ -136,3 +136,49 @@ func BenchmarkSortSerial1M(b *testing.B) {
 	}
 	b.SetBytes(int64(len(kv) * 12))
 }
+
+func TestSortStabilitySmallPath(t *testing.T) {
+	// Below the radix threshold Sort takes the merge path; duplicate keys
+	// must keep original order there too.
+	kv := randomKV(2000, 11, 0xf) // 16 distinct keys, lots of duplicates
+	Sort(kv, 4)
+	for i := 1; i < len(kv); i++ {
+		if kv[i-1].Key == kv[i].Key && kv[i-1].Idx > kv[i].Idx {
+			t.Fatalf("stability violated at %d: %+v then %+v", i, kv[i-1], kv[i])
+		}
+	}
+}
+
+func TestSortScratchMatchesSort(t *testing.T) {
+	for _, n := range []int{0, 1, 500, 4096, 50000} {
+		want := randomKV(n, int64(n)+1, ^uint64(0)>>3)
+		got := make([]KV, n)
+		copy(got, want)
+		Sort(want, 4)
+
+		var scratch []KV
+		SortScratch(got, &scratch, 4)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: SortScratch differs from Sort at %d: %+v vs %+v",
+					n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSortScratchReuse(t *testing.T) {
+	// One scratch buffer reused across calls of varying size must keep
+	// sorting correctly and must not shrink or reallocate once large enough.
+	var scratch []KV
+	for i, n := range []int{60000, 333, 4096, 59999, 7} {
+		kv := randomKV(n, int64(100+i), 0xffff)
+		SortScratch(kv, &scratch, 3)
+		if !isSorted(kv) {
+			t.Fatalf("call %d (n=%d): not sorted", i, n)
+		}
+		if cap(scratch) < 60000 {
+			t.Fatalf("call %d: scratch shrank to cap %d", i, cap(scratch))
+		}
+	}
+}

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bonsai/internal/body"
@@ -27,14 +29,22 @@ type rank struct {
 	dec   domain.Decomposition
 
 	// SoA views rebuilt each step (tree order == parts order).
-	pos  []vec.V3
-	mass []float64
-	mk   []keys.Key
-	acc  []vec.V3
-	pot  []float64
+	pos    []vec.V3
+	mass   []float64
+	mk     []keys.Key
+	acc    []vec.V3
+	pot    []float64 // self-gravity potential only
+	extPot []float64 // external analytic field potential (empty when unset)
 
 	tree   *octree.Tree
 	groups []octree.Group
+
+	// Scratch reused across steps (per-rank, single-writer): the sort's key
+	// slice and ping-pong buffer, and the particle reorder target. Without
+	// these, sortLocal allocates three n-sized slices per step per rank.
+	kv      []psort.KV
+	sortBuf []psort.KV
+	spare   []body.Particle
 
 	// step-scoped
 	stats RankStats
@@ -46,7 +56,11 @@ const (
 
 // stepForces runs the full force pipeline for one step and leaves
 // accelerations/potentials in r.acc/r.pot (aligned with r.parts).
-func (r *rank) stepForces(step int) {
+// domainUpdate selects whether this evaluation re-decomposes and exchanges
+// particles; the caller (the Simulation) owns the domain-epoch schedule so
+// that the t=0 priming evaluation and the first post-drift evaluation do not
+// both pay for a decomposition in the same step.
+func (r *rank) stepForces(step int, domainUpdate bool) {
 	r.stats = RankStats{}
 	t0 := time.Now()
 
@@ -56,7 +70,7 @@ func (r *rank) stepForces(step int) {
 
 	// --- Domain update (decomposition + exchange) every DomainFreq steps.
 	tD := time.Now()
-	if step%r.cfg.DomainFreq == 0 {
+	if domainUpdate {
 		hk := make([]keys.Key, len(r.parts))
 		for i := range r.parts {
 			hk[i] = r.grid.HilbertOf(r.parts[i].Pos)
@@ -115,18 +129,20 @@ func (r *rank) stepForces(step int) {
 }
 
 // sortLocal computes Morton keys and reorders r.parts (and the SoA views)
-// into key order.
+// into key order, reusing the rank's scratch buffers.
 func (r *rank) sortLocal() {
 	n := len(r.parts)
-	kv := make([]psort.KV, n)
+	r.kv = resize(r.kv, n)
+	kv := r.kv
 	for i := range r.parts {
 		kv[i] = psort.KV{Key: uint64(r.grid.MortonOf(r.parts[i].Pos)), Idx: int32(i)}
 	}
-	psort.Sort(kv, r.cfg.WorkersPerRank)
+	psort.SortScratch(kv, &r.sortBuf, r.cfg.WorkersPerRank)
 
-	sorted := make([]body.Particle, n)
-	psort.Permute(kv, r.parts, sorted)
-	r.parts = sorted
+	r.spare = resize(r.spare, n)
+	psort.Permute(kv, r.parts, r.spare)
+	r.parts, r.spare = r.spare, r.parts
+	sorted := r.parts
 
 	r.mk = resize(r.mk, n)
 	r.pos = resize(r.pos, n)
@@ -142,7 +158,14 @@ func (r *rank) sortLocal() {
 	}
 }
 
-// gravity performs the overlapped local + LET force computation.
+// gravity performs the overlapped local + LET force computation, the paper's
+// three-role pipeline (§III.B.3): a receiver goroutine drains incoming full
+// LETs into a channel as they arrive, a pool of builder goroutines constructs
+// and pushes outgoing LETs, and the compute side interleaves the local-tree
+// walk with walks of already-arrived LETs so an arrived tree never waits for
+// the local walk to finish. Config.SerialLET removes all overlap — builds
+// before the walk on the compute thread, receives strictly after — as the
+// measurable baseline for the overlap benchmarks.
 func (r *rank) gravity(step int, localBox vec.Box) {
 	p := r.comm.Size()
 	me := r.comm.Rank()
@@ -177,22 +200,156 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 		}
 	}
 
-	// --- Communication thread: build and push full LETs while the local
-	// walk proceeds on the "device".
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		for _, j := range sendTo {
-			let := lettree.BuildFor(r.tree, boundaries[j].Box, theta, localBox)
-			r.comm.Send(j, tag, let, let.WireBytes())
-			r.stats.LETsSent++
-			r.stats.LETBytesSent += int64(let.WireBytes())
-		}
-	}()
+	var localWalk, letWalk, waitTime time.Duration
+	var recvIdle atomic.Int64 // nanoseconds the receiver spent blocked
 
-	// --- Local gravity on the device.
-	tL := time.Now()
-	r.tree.Walk(r.groups, r.pos, theta, eps2, r.acc, r.pot, r.cfg.WorkersPerRank, &r.stats.Grav)
+	// --- Builder pool: construct and push full LETs while the walks proceed
+	// on the "device". BuildFor only reads the local tree, so builders are
+	// safe alongside each other and alongside the compute walks. In the
+	// SerialLET baseline there is no communication thread at all: LETs are
+	// built and pushed on the compute thread ahead of the local walk, and
+	// that time is exactly the communication cost the pipeline would hide.
+	sentBytes := make([]int64, len(sendTo))
+	buildLET := func(k int) {
+		j := sendTo[k]
+		let := lettree.BuildFor(r.tree, boundaries[j].Box, theta, localBox)
+		r.comm.Send(j, tag, let, let.WireBytes())
+		sentBytes[k] = int64(let.WireBytes())
+	}
+	done := make(chan struct{})
+	if r.cfg.SerialLET {
+		tS := time.Now()
+		for k := range sendTo {
+			buildLET(k)
+		}
+		waitTime += time.Since(tS)
+		close(done)
+	} else {
+		builders := r.cfg.letBuilders(len(sendTo))
+		go func() {
+			defer close(done)
+			if len(sendTo) == 0 {
+				return
+			}
+			jobs := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < builders; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for k := range jobs {
+						buildLET(k)
+					}
+				}()
+			}
+			for k := range sendTo {
+				jobs <- k
+			}
+			close(jobs)
+			wg.Wait()
+		}()
+	}
+
+	walkRemote := func(l *lettree.LET, from string) {
+		tW := time.Now()
+		forced := lettree.Walk(l, r.groups, r.pos, theta, eps2,
+			r.acc, r.pot, r.cfg.WorkersPerRank, &r.stats.Grav)
+		letWalk += time.Since(tW)
+		if forced != 0 {
+			panic(fmt.Sprintf("sim: rank %d: %s forced %d accepts", me, from, forced))
+		}
+	}
+
+	if r.cfg.SerialLET {
+		// Baseline ordering: full local walk, then boundary trees, then
+		// blocking receives in arrival order.
+		tL := time.Now()
+		r.tree.Walk(r.groups, r.pos, theta, eps2, r.acc, r.pot, r.cfg.WorkersPerRank, &r.stats.Grav)
+		localWalk = time.Since(tL)
+		for _, j := range useBoundary {
+			walkRemote(boundaries[j], fmt.Sprintf("boundary of %d judged sufficient but", j))
+			r.stats.BoundaryUsed++
+		}
+		for k := 0; k < expectFrom; k++ {
+			tR := time.Now()
+			_, msg := r.comm.RecvAny(tag)
+			waitTime += time.Since(tR)
+			walkRemote(msg.(*lettree.LET), "received LET")
+			r.stats.LETsRecv++
+		}
+	} else {
+		// Receiver goroutine: drain the mailbox as messages arrive so a LET
+		// is ready for the compute side the moment the sender pushes it.
+		arrivals := make(chan *lettree.LET, expectFrom)
+		if expectFrom > 0 {
+			go func() {
+				for k := 0; k < expectFrom; k++ {
+					tR := time.Now()
+					_, msg := r.comm.RecvAny(tag)
+					recvIdle.Add(int64(time.Since(tR)))
+					arrivals <- msg.(*lettree.LET)
+				}
+				close(arrivals)
+			}()
+		} else {
+			close(arrivals)
+		}
+
+		// Compute: interleave local-tree chunks with already-arrived LETs.
+		// Chunks are sized to give the pipeline regular poll points while
+		// keeping each chunk wide enough to feed the walk worker pool.
+		chunk := (len(r.groups) + 15) / 16
+		if chunk < r.cfg.WorkersPerRank {
+			chunk = r.cfg.WorkersPerRank
+		}
+		pending := r.groups
+		recvLeft := expectFrom
+		for len(pending) > 0 {
+			if recvLeft > 0 {
+				select {
+				case let := <-arrivals:
+					walkRemote(let, "received LET")
+					recvLeft--
+					r.stats.LETsRecv++
+					r.stats.LETsOverlapped++
+					continue
+				default:
+				}
+			}
+			n := chunk
+			if n > len(pending) {
+				n = len(pending)
+			}
+			tL := time.Now()
+			r.tree.Walk(pending[:n], r.pos, theta, eps2, r.acc, r.pot, r.cfg.WorkersPerRank, &r.stats.Grav)
+			localWalk += time.Since(tL)
+			pending = pending[n:]
+		}
+		// Local walk done: boundary trees are local data, walk them while
+		// straggler LETs are still in flight.
+		for _, j := range useBoundary {
+			walkRemote(boundaries[j], fmt.Sprintf("boundary of %d judged sufficient but", j))
+			r.stats.BoundaryUsed++
+		}
+		for recvLeft > 0 {
+			tR := time.Now()
+			let := <-arrivals
+			waitTime += time.Since(tR)
+			walkRemote(let, "received LET")
+			recvLeft--
+			r.stats.LETsRecv++
+		}
+	}
+
+	// Wait for our own sends to finish building (they overlap the walks).
+	tWd := time.Now()
+	<-done
+	waitTime += time.Since(tWd)
+	r.stats.LETsSent += len(sendTo)
+	for _, b := range sentBytes {
+		r.stats.LETBytesSent += b
+	}
+
 	// Remove the softened self-interaction contributed by each particle's
 	// own leaf (acc contribution is exactly zero; potential is -m/ε).
 	if r.cfg.Eps > 0 {
@@ -200,40 +357,6 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 			r.pot[i] += r.mass[i] / r.cfg.Eps
 		}
 	}
-	r.stats.Times.GravLocal = time.Since(tL)
-
-	// --- Remote gravity: sufficient boundary trees first (they are already
-	// here), then full LETs in arrival order.
-	var letWalk time.Duration
-	var waitTime time.Duration
-	for _, j := range useBoundary {
-		tW := time.Now()
-		forced := lettree.Walk(boundaries[j], r.groups, r.pos, theta, eps2,
-			r.acc, r.pot, r.cfg.WorkersPerRank, &r.stats.Grav)
-		letWalk += time.Since(tW)
-		if forced != 0 {
-			panic(fmt.Sprintf("sim: rank %d: boundary of %d judged sufficient but forced %d accepts", me, j, forced))
-		}
-		r.stats.BoundaryUsed++
-	}
-	for k := 0; k < expectFrom; k++ {
-		tR := time.Now()
-		_, msg := r.comm.RecvAny(tag)
-		waitTime += time.Since(tR)
-		let := msg.(*lettree.LET)
-		tW := time.Now()
-		forced := lettree.Walk(let, r.groups, r.pos, theta, eps2,
-			r.acc, r.pot, r.cfg.WorkersPerRank, &r.stats.Grav)
-		letWalk += time.Since(tW)
-		if forced != 0 {
-			panic(fmt.Sprintf("sim: rank %d: received LET forced %d accepts", me, forced))
-		}
-		r.stats.LETsRecv++
-	}
-	// Wait for our own sends to finish building (they overlap the walks).
-	tWd := time.Now()
-	<-done
-	waitTime += time.Since(tWd)
 
 	// Scale by the unit system's gravitational constant (forces and
 	// potentials are linear in G; kernels compute the G=1 sums).
@@ -244,19 +367,25 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 		}
 	}
 
-	// Static external field (analytic halo; §I "type 1" simulations).
-	// The factor 2 on the potential compensates the later ½ in the energy
-	// sum, which is only correct for the pairwise self-gravity part.
+	// Static external field (analytic halo; §I "type 1" simulations). The
+	// field potential is kept in its own slice: r.pot stays the physical
+	// self-gravity potential (reported by Accelerations), while Energy sums
+	// ½·self + ext, the ½ applying only to the pairwise part.
 	if ext := r.cfg.External; ext != nil {
+		r.extPot = resize(r.extPot, len(r.parts))
 		for i := range r.acc {
-			a, p := ext(r.pos[i])
+			a, ep := ext(r.pos[i])
 			r.acc[i] = r.acc[i].Add(a)
-			r.pot[i] += 2 * p
+			r.extPot[i] = ep
 		}
+	} else {
+		r.extPot = r.extPot[:0]
 	}
 
+	r.stats.Times.GravLocal = localWalk
 	r.stats.Times.GravLET = letWalk
 	r.stats.Times.NonHiddenComm = boundaryTime + waitTime
+	r.stats.RecvIdle = time.Duration(recvIdle.Load())
 }
 
 func resize[T any](s []T, n int) []T {

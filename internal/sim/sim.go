@@ -59,6 +59,36 @@ type Config struct {
 	// and returns the acceleration and specific potential of the field.
 	// The returned values are NOT scaled by G (supply physical values).
 	External func(pos vec.V3) (acc vec.V3, pot float64)
+
+	// LETWorkers sizes each rank's LET-builder pool (the paper's
+	// communication-thread group). 0 selects max(2, WorkersPerRank),
+	// capped at the number of destination ranks.
+	LETWorkers int
+
+	// SerialLET disables all communication/compute overlap in the gravity
+	// phase: outgoing LETs are built and pushed on the compute thread
+	// before the local tree-walk, and incoming ones are walked only after
+	// it completes. Kept as the measurable non-overlapped baseline for
+	// BenchmarkOverlap.
+	SerialLET bool
+}
+
+// letBuilders returns the LET-builder pool size for dests destination ranks.
+func (c *Config) letBuilders(dests int) int {
+	if dests == 0 {
+		return 0
+	}
+	w := c.LETWorkers
+	if w <= 0 {
+		w = c.WorkersPerRank
+		if w < 2 {
+			w = 2
+		}
+	}
+	if w > dests {
+		w = dests
+	}
+	return w
 }
 
 func (c Config) withDefaults() Config {
@@ -167,9 +197,11 @@ func (s *Simulation) parallel(fn func(r *rank)) {
 	wg.Wait()
 }
 
-// forces runs the distributed force pipeline on all ranks.
-func (s *Simulation) forces() []RankStats {
-	s.parallel(func(r *rank) { r.stepForces(s.step) })
+// forces runs the distributed force pipeline on all ranks. domainUpdate
+// selects whether this evaluation re-decomposes and exchanges particles; all
+// ranks must see the same value (the decomposition is collective).
+func (s *Simulation) forces(domainUpdate bool) []RankStats {
+	s.parallel(func(r *rank) { r.stepForces(s.step, domainUpdate) })
 	stats := make([]RankStats, len(s.ranks))
 	for i, r := range s.ranks {
 		stats[i] = r.stats
@@ -177,13 +209,18 @@ func (s *Simulation) forces() []RankStats {
 	return stats
 }
 
+// domainDue reports whether the current step is a domain-update epoch.
+func (s *Simulation) domainDue() bool { return s.step%s.cfg.DomainFreq == 0 }
+
 // Step advances the system by one leapfrog step (kick-drift-kick) and
 // returns the aggregated statistics of the force computation.
 func (s *Simulation) Step() StepStats {
+	primed := false
 	if s.first {
 		// Prime accelerations at t=0.
-		s.forces()
+		s.forces(s.domainDue())
 		s.first = false
+		primed = true
 	}
 	dt := s.cfg.DT
 	// Kick half + drift full (uses accelerations from the previous force
@@ -194,8 +231,11 @@ func (s *Simulation) Step() StepStats {
 			r.parts[i].Pos = r.parts[i].Pos.Add(r.parts[i].Vel.Scale(dt))
 		}
 	})
-	// New forces at t+dt.
-	rs := s.forces()
+	// New forces at t+dt. If the t=0 priming evaluation just ran the
+	// domain update, positions have only drifted within the same step, so
+	// the decomposition is still fresh: skip the second update (the seed
+	// code re-decomposed and re-exchanged every particle twice at step 0).
+	rs := s.forces(s.domainDue() && !primed)
 	// Kick half.
 	s.parallel(func(r *rank) {
 		for i := range r.parts {
@@ -217,9 +257,11 @@ func (s *Simulation) Run(n int) []StepStats {
 }
 
 // ComputeForces runs the force pipeline once without advancing time. Useful
-// for scaling measurements (the paper's benchmarks time force iterations).
+// for scaling measurements (the paper's benchmarks time force iterations):
+// every call runs the full pipeline, including the domain update when the
+// current step is an update epoch.
 func (s *Simulation) ComputeForces() StepStats {
-	rs := s.forces()
+	rs := s.forces(s.domainDue())
 	s.first = false
 	return aggregate(s.step, rs)
 }
@@ -235,7 +277,9 @@ func (s *Simulation) Particles() []body.Particle {
 }
 
 // Accelerations gathers the most recent accelerations and potentials,
-// ordered to match Particles().
+// ordered to match Particles(). The potential is the physical specific
+// potential each particle sits in: self-gravity plus the external analytic
+// field when Config.External is set.
 func (s *Simulation) Accelerations() ([]vec.V3, []float64) {
 	type rec struct {
 		id  int64
@@ -244,8 +288,13 @@ func (s *Simulation) Accelerations() ([]vec.V3, []float64) {
 	}
 	var all []rec
 	for _, r := range s.ranks {
+		ext := len(r.extPot) == len(r.parts) && len(r.extPot) > 0
 		for i := range r.parts {
-			all = append(all, rec{r.parts[i].ID, r.acc[i], r.pot[i]})
+			p := r.pot[i]
+			if ext {
+				p += r.extPot[i]
+			}
+			all = append(all, rec{r.parts[i].ID, r.acc[i], p})
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
@@ -258,13 +307,19 @@ func (s *Simulation) Accelerations() ([]vec.V3, []float64) {
 	return acc, pot
 }
 
-// Energy returns the total kinetic and potential energy (pairwise potential
-// halved) from the most recent force evaluation.
+// Energy returns the total kinetic and potential energy from the most recent
+// force evaluation. The pairwise self-gravity potential is halved (each pair
+// is counted twice by the per-particle sums); the external-field potential,
+// if any, enters at full weight.
 func (s *Simulation) Energy() (kin, pot float64) {
 	for _, r := range s.ranks {
+		ext := len(r.extPot) == len(r.parts) && len(r.extPot) > 0
 		for i := range r.parts {
 			kin += 0.5 * r.parts[i].Mass * r.parts[i].Vel.Norm2()
 			pot += 0.5 * r.parts[i].Mass * r.pot[i]
+			if ext {
+				pot += r.parts[i].Mass * r.extPot[i]
+			}
 		}
 	}
 	return kin, pot

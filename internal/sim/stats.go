@@ -57,6 +57,10 @@ type RankStats struct {
 	LETsRecv     int        // full LETs received
 	BoundaryUsed int        // remote ranks served by their boundary tree alone
 	LETBytesSent int64      // serialized LET + boundary traffic
+
+	// Overlap-efficiency counters for the pipelined gravity phase.
+	LETsOverlapped int           // LETs walked before the local walk finished
+	RecvIdle       time.Duration // receiver-goroutine time blocked on arrivals
 }
 
 // StepStats aggregates a step over all ranks.
@@ -71,6 +75,16 @@ type StepStats struct {
 	LETsSent     int
 	BoundaryUsed int
 	BytesSent    int64 // all rank-to-rank traffic this step (metered)
+
+	// Overlap efficiency of the gravity phase: how many of the received
+	// full LETs were walked while the local tree-walk was still running
+	// (OverlapFrac = LETsOverlapped/LETsRecv), and the mean per-rank time
+	// the receiver goroutine spent blocked waiting for arrivals (hidden
+	// behind the local walk, unlike Times.NonHiddenComm).
+	LETsRecv       int
+	LETsOverlapped int
+	OverlapFrac    float64
+	RecvIdle       time.Duration
 
 	PPPerParticle float64
 	PCPerParticle float64
@@ -93,6 +107,9 @@ func aggregate(step int, rs []RankStats) StepStats {
 		out.LETsSent += rs[i].LETsSent
 		out.BoundaryUsed += rs[i].BoundaryUsed
 		out.BytesSent += rs[i].LETBytesSent
+		out.LETsRecv += rs[i].LETsRecv
+		out.LETsOverlapped += rs[i].LETsOverlapped
+		out.RecvIdle += rs[i].RecvIdle
 		maxDur(&out.MaxTimes.Sort, rs[i].Times.Sort)
 		maxDur(&out.MaxTimes.Domain, rs[i].Times.Domain)
 		maxDur(&out.MaxTimes.TreeBuild, rs[i].Times.TreeBuild)
@@ -104,6 +121,12 @@ func aggregate(step int, rs []RankStats) StepStats {
 		maxDur(&out.MaxTimes.Total, rs[i].Times.Total)
 	}
 	out.Times = out.Times.Scale(len(rs))
+	if len(rs) > 0 {
+		out.RecvIdle /= time.Duration(len(rs))
+	}
+	if out.LETsRecv > 0 {
+		out.OverlapFrac = float64(out.LETsOverlapped) / float64(out.LETsRecv)
+	}
 	if out.N > 0 {
 		out.PPPerParticle = float64(out.Grav.PP) / float64(out.N)
 		out.PCPerParticle = float64(out.Grav.PC) / float64(out.N)
