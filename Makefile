@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_JSON ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: tier1 vet build test race bench-overlap
+.PHONY: tier1 vet build test race bench bench-overlap
 
 # tier1 is the pre-merge gate: static checks, full build and test suite,
 # plus the race-detector subset covering the concurrent gravity pipeline
@@ -18,6 +19,14 @@ test:
 
 race:
 	$(GO) test -race -count=1 ./internal/sim ./internal/mpi ./internal/psort
+
+# Force-kernel microbenchmarks (batched SoA vs scalar per-pair, ns/inter)
+# plus the full 100k-particle tree-walk, recorded as a JSON baseline so the
+# perf trajectory of successive PRs is measurable (BENCH_<date>.json).
+bench:
+	@{ $(GO) test -run XXX -bench 'BenchmarkKernels' -benchtime 300x . ; \
+	   $(GO) test -run XXX -bench 'BenchmarkWalk100k' -benchtime 2x ./internal/octree ; } \
+	  | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 
 # Serial vs pipelined gravity phase; nonhidden_ms should drop and
 # overlap_% rise in the Pipelined variants.

@@ -9,6 +9,7 @@
 package bonsai
 
 import (
+	"math/rand"
 	"testing"
 
 	"bonsai/internal/device"
@@ -293,6 +294,111 @@ func BenchmarkOverlap_Serial_R16(b *testing.B)    { benchOverlap(b, 16, true) }
 func BenchmarkOverlap_Pipelined_R16(b *testing.B) { benchOverlap(b, 16, false) }
 func BenchmarkOverlap_Serial_R32(b *testing.B)    { benchOverlap(b, 32, true) }
 func BenchmarkOverlap_Pipelined_R32(b *testing.B) { benchOverlap(b, 32, false) }
+
+// ---------------------------------------------------------------------------
+// Force-kernel microbenchmarks: the batched SoA kernels against the scalar
+// per-pair path, one warp-sized target group (64) against interaction lists
+// of the given length — the regime the tree-walk actually runs in. The
+// ns/inter metric is the per-interaction cost the walk pays.
+
+const kernelBenchTargets = 64
+
+func kernelBenchSetup(listLen int) ([]vec.V3, *grav.Targets, []vec.V3, []float64, []grav.Multipole) {
+	rng := rand.New(rand.NewSource(42))
+	tpos := make([]vec.V3, kernelBenchTargets)
+	for i := range tpos {
+		tpos[i] = vec.V3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+	}
+	var tg grav.Targets
+	tg.Gather(tpos)
+	srcPos := make([]vec.V3, listLen)
+	srcM := make([]float64, listLen)
+	cells := make([]grav.Multipole, listLen)
+	for k := 0; k < listLen; k++ {
+		srcPos[k] = vec.V3{X: 5 + rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		srcM[k] = 0.5 + rng.Float64()
+		cells[k] = grav.Multipole{
+			COM:  srcPos[k],
+			M:    srcM[k],
+			Quad: vec.Outer(srcM[k], vec.V3{X: 0.3, Y: 0.2, Z: 0.1}),
+		}
+	}
+	return tpos, &tg, srcPos, srcM, cells
+}
+
+func benchKernelPPScalar(b *testing.B, listLen int) {
+	tpos, _, srcPos, srcM, _ := kernelBenchSetup(listLen)
+	acc := make([]vec.V3, len(tpos))
+	pot := make([]float64, len(tpos))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, p := range tpos {
+			f := grav.AccumulatePP(p, srcPos, srcM, 1e-4, nil)
+			acc[j] = acc[j].Add(f.Acc)
+			pot[j] += f.Pot
+		}
+	}
+	perIter := float64(listLen * kernelBenchTargets)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*perIter), "ns/inter")
+}
+
+func benchKernelPPBatch(b *testing.B, listLen int) {
+	tpos, tg, srcPos, srcM, _ := kernelBenchSetup(listLen)
+	var src grav.PPSoA
+	for k := range srcPos {
+		src.Append(srcPos[k], srcM[k])
+	}
+	_ = tpos
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grav.PPBatch(tg.X, tg.Y, tg.Z, &src, 1e-4, tg.AX, tg.AY, tg.AZ, tg.Pot)
+	}
+	perIter := float64(listLen * kernelBenchTargets)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*perIter), "ns/inter")
+}
+
+func benchKernelPCScalar(b *testing.B, listLen int) {
+	tpos, _, _, _, cells := kernelBenchSetup(listLen)
+	acc := make([]vec.V3, len(tpos))
+	pot := make([]float64, len(tpos))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, p := range tpos {
+			f := grav.AccumulatePC(p, cells, 1e-4, nil)
+			acc[j] = acc[j].Add(f.Acc)
+			pot[j] += f.Pot
+		}
+	}
+	perIter := float64(listLen * kernelBenchTargets)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*perIter), "ns/inter")
+}
+
+func benchKernelPCBatch(b *testing.B, listLen int) {
+	_, tg, _, _, cells := kernelBenchSetup(listLen)
+	var src grav.PCSoA
+	for k := range cells {
+		src.Append(cells[k])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grav.PCBatch(tg.X, tg.Y, tg.Z, &src, 1e-4, tg.AX, tg.AY, tg.AZ, tg.Pot)
+	}
+	perIter := float64(listLen * kernelBenchTargets)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*perIter), "ns/inter")
+}
+
+func BenchmarkKernels_PP_Scalar_L64(b *testing.B)   { benchKernelPPScalar(b, 64) }
+func BenchmarkKernels_PP_Batch_L64(b *testing.B)    { benchKernelPPBatch(b, 64) }
+func BenchmarkKernels_PP_Scalar_L512(b *testing.B)  { benchKernelPPScalar(b, 512) }
+func BenchmarkKernels_PP_Batch_L512(b *testing.B)   { benchKernelPPBatch(b, 512) }
+func BenchmarkKernels_PP_Scalar_L4096(b *testing.B) { benchKernelPPScalar(b, 4096) }
+func BenchmarkKernels_PP_Batch_L4096(b *testing.B)  { benchKernelPPBatch(b, 4096) }
+func BenchmarkKernels_PC_Scalar_L64(b *testing.B)   { benchKernelPCScalar(b, 64) }
+func BenchmarkKernels_PC_Batch_L64(b *testing.B)    { benchKernelPCBatch(b, 64) }
+func BenchmarkKernels_PC_Scalar_L512(b *testing.B)  { benchKernelPCScalar(b, 512) }
+func BenchmarkKernels_PC_Batch_L512(b *testing.B)   { benchKernelPCBatch(b, 512) }
+func BenchmarkKernels_PC_Scalar_L4096(b *testing.B) { benchKernelPCScalar(b, 4096) }
+func BenchmarkKernels_PC_Batch_L4096(b *testing.B)  { benchKernelPCBatch(b, 4096) }
 
 // ---------------------------------------------------------------------------
 // §I baseline: the TreePM mesh alternative the paper argues against for

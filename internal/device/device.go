@@ -258,8 +258,10 @@ type Run struct {
 
 // ExecuteTreeWalk runs the tree-walk force kernel for all groups in
 // warp-lockstep on the modeled device: each group's interaction lists are
-// evaluated WarpSize targets at a time (idle lanes in partial warps burn
-// cycles without contributing flops, exactly as on hardware). Forces are
+// gathered once into SoA scratch and evaluated WarpSize targets at a time
+// through the same batched kernels the CPU walk uses (idle lanes in partial
+// warps burn cycles without contributing flops, exactly as on hardware), so
+// the emulated forces stay bitwise identical to octree.Tree.Walk. Forces are
 // accumulated into acc/pot; the returned Run carries the cycle model.
 func ExecuteTreeWalk(s Spec, k Kernel, t *octree.Tree, groups []octree.Group,
 	tpos []vec.V3, theta, eps2 float64, acc []vec.V3, pot []float64) (Run, error) {
@@ -269,43 +271,44 @@ func ExecuteTreeWalk(s Spec, k Kernel, t *octree.Tree, groups []octree.Group,
 	}
 	run := Run{Device: s.Name, Kernel: k.Name}
 	var lists octree.WalkLists
-	cells := make([]grav.Multipole, 0, 1024)
+	var pp grav.PPSoA
+	var pc grav.PCSoA
+	var tg grav.Targets
 
 	for gi := range groups {
 		g := &groups[gi]
 		t.Collect(g.Box, theta, &lists)
-		cells = cells[:0]
+		pc.Reset()
 		for _, ci := range lists.CellIdx {
-			cells = append(cells, t.Cells[ci].MP)
+			pc.Append(t.Cells[ci].MP)
 		}
+		pp.Reset()
+		for _, pj := range lists.PartIdx {
+			pp.Append(t.Pos[pj], t.Mass[pj])
+		}
+		gLo, gHi := g.Start, g.Start+g.N
+		tg.Gather(tpos[gLo:gHi])
 
 		// Warp-lockstep evaluation: lanes = particles of the group.
 		warps := (int(g.N) + WarpSize - 1) / WarpSize
 		for w := 0; w < warps; w++ {
-			lo := g.Start + int32(w*WarpSize)
+			lo := w * WarpSize
 			hi := lo + WarpSize
-			if hi > g.Start+g.N {
-				hi = g.Start + g.N
+			if hi > int(g.N) {
+				hi = int(g.N)
 			}
 			// Every lane walks the same lists in lockstep.
-			for lane := lo; lane < hi; lane++ {
-				p := tpos[lane]
-				var f grav.Force
-				for _, mp := range cells {
-					f.Add(grav.PC(p, mp, eps2))
-				}
-				for _, pj := range lists.PartIdx {
-					f.Add(grav.PP(p, t.Pos[pj], t.Mass[pj], eps2))
-				}
-				acc[lane] = acc[lane].Add(f.Acc)
-				pot[lane] += f.Pot
-			}
+			grav.PCBatch(tg.X[lo:hi], tg.Y[lo:hi], tg.Z[lo:hi], &pc, eps2,
+				tg.AX[lo:hi], tg.AY[lo:hi], tg.AZ[lo:hi], tg.Pot[lo:hi])
+			grav.PPBatch(tg.X[lo:hi], tg.Y[lo:hi], tg.Z[lo:hi], &pp, eps2,
+				tg.AX[lo:hi], tg.AY[lo:hi], tg.AZ[lo:hi], tg.Pot[lo:hi])
 			// The warp burns full-width cycles regardless of idle lanes.
-			run.Cycles += float64(len(cells)) * s.warpCycles(k, false)
-			run.Cycles += float64(len(lists.PartIdx)) * s.warpCycles(k, true)
+			run.Cycles += float64(pc.Len()) * s.warpCycles(k, false)
+			run.Cycles += float64(pp.Len()) * s.warpCycles(k, true)
 		}
-		run.Stats.PC += uint64(len(cells)) * uint64(g.N)
-		run.Stats.PP += uint64(len(lists.PartIdx)) * uint64(g.N)
+		tg.Scatter(acc[gLo:gHi], pot[gLo:gHi])
+		run.Stats.PC += uint64(pc.Len()) * uint64(g.N)
+		run.Stats.PP += uint64(pp.Len()) * uint64(g.N)
 	}
 	run.finish(s)
 	return run, nil

@@ -1,0 +1,221 @@
+// Batched SoA force kernels: the CPU analogue of the paper's block-evaluation
+// GPU kernels (§V-VI; Bédorf, Gaburov & Portegies Zwart 2012). The tree-walk
+// gathers each target group's interaction list once into contiguous
+// structure-of-arrays scratch — x/y/z/m slices for particle sources, multipole
+// field slices for cell sources — and then evaluates the whole group against
+// the whole list in two tight inner loops. Compared with per-pair PP/PC calls
+// returning Force structs, the batched layout eliminates call and struct
+// overhead per interaction, lets the compiler drop bounds checks, and streams
+// sources linearly through the cache exactly once per group.
+package grav
+
+import (
+	"math"
+	"time"
+
+	"bonsai/internal/vec"
+)
+
+// PPSoA is a gathered particle-source list in structure-of-arrays layout:
+// contiguous position and mass slices the batched p-p kernel streams with a
+// bounds-check-free inner loop. A PPSoA is reusable scratch — Reset keeps the
+// capacity from previous gathers.
+type PPSoA struct {
+	X, Y, Z, M []float64
+}
+
+// Reset empties the list, retaining capacity.
+func (s *PPSoA) Reset() {
+	s.X, s.Y, s.Z, s.M = s.X[:0], s.Y[:0], s.Z[:0], s.M[:0]
+}
+
+// Append adds one source particle.
+func (s *PPSoA) Append(p vec.V3, m float64) {
+	s.X = append(s.X, p.X)
+	s.Y = append(s.Y, p.Y)
+	s.Z = append(s.Z, p.Z)
+	s.M = append(s.M, m)
+}
+
+// Len returns the number of gathered sources.
+func (s *PPSoA) Len() int { return len(s.X) }
+
+// PCSoA is a gathered cell-multipole list in SoA layout: centre of mass,
+// mass, and the six raw quadrupole second-moment components.
+type PCSoA struct {
+	X, Y, Z, M             []float64
+	XX, YY, ZZ, XY, XZ, YZ []float64
+}
+
+// Reset empties the list, retaining capacity.
+func (s *PCSoA) Reset() {
+	s.X, s.Y, s.Z, s.M = s.X[:0], s.Y[:0], s.Z[:0], s.M[:0]
+	s.XX, s.YY, s.ZZ = s.XX[:0], s.YY[:0], s.ZZ[:0]
+	s.XY, s.XZ, s.YZ = s.XY[:0], s.XZ[:0], s.YZ[:0]
+}
+
+// Append adds one cell multipole.
+func (s *PCSoA) Append(mp Multipole) {
+	s.X = append(s.X, mp.COM.X)
+	s.Y = append(s.Y, mp.COM.Y)
+	s.Z = append(s.Z, mp.COM.Z)
+	s.M = append(s.M, mp.M)
+	s.XX = append(s.XX, mp.Quad.XX)
+	s.YY = append(s.YY, mp.Quad.YY)
+	s.ZZ = append(s.ZZ, mp.Quad.ZZ)
+	s.XY = append(s.XY, mp.Quad.XY)
+	s.XZ = append(s.XZ, mp.Quad.XZ)
+	s.YZ = append(s.YZ, mp.Quad.YZ)
+}
+
+// Len returns the number of gathered cells.
+func (s *PCSoA) Len() int { return len(s.X) }
+
+// Targets is the per-group target scratch of the batched walk: gathered
+// positions plus separate SoA accumulator slices. The walk gathers a group's
+// targets once, runs PCBatch/PPBatch against the gathered lists, and scatters
+// the accumulators back into the caller's AoS arrays.
+type Targets struct {
+	X, Y, Z         []float64 // gathered target positions
+	AX, AY, AZ, Pot []float64 // per-target accumulators, zeroed by Gather
+}
+
+// Gather fills the target slices from pos and zeroes the accumulators.
+func (t *Targets) Gather(pos []vec.V3) {
+	n := len(pos)
+	t.X = growTo(t.X, n)
+	t.Y = growTo(t.Y, n)
+	t.Z = growTo(t.Z, n)
+	t.AX = growTo(t.AX, n)
+	t.AY = growTo(t.AY, n)
+	t.AZ = growTo(t.AZ, n)
+	t.Pot = growTo(t.Pot, n)
+	for i, p := range pos {
+		t.X[i], t.Y[i], t.Z[i] = p.X, p.Y, p.Z
+		t.AX[i], t.AY[i], t.AZ[i], t.Pot[i] = 0, 0, 0, 0
+	}
+}
+
+// Scatter adds the accumulators into the caller's acc/pot arrays, which must
+// be the same length as the gathered target set.
+func (t *Targets) Scatter(acc []vec.V3, pot []float64) {
+	for i := range acc {
+		acc[i].X += t.AX[i]
+		acc[i].Y += t.AY[i]
+		acc[i].Z += t.AZ[i]
+		pot[i] += t.Pot[i]
+	}
+}
+
+func growTo(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// PPBatch evaluates every target against every gathered source particle,
+// accumulating accelerations and specific potentials into ax/ay/az/apot.
+// All target slices must share the length of tx. The per-interaction math is
+// identical to PP (Plummer softening eps2 = ε²; a source coincident with a
+// target contributes zero acceleration and -m/ε potential when eps2 > 0).
+func PPBatch(tx, ty, tz []float64, src *PPSoA, eps2 float64, ax, ay, az, apot []float64) {
+	sx := src.X
+	sy := src.Y[:len(sx)]
+	sz := src.Z[:len(sx)]
+	sm := src.M[:len(sx)]
+	n := len(tx)
+	ty = ty[:n]
+	tz = tz[:n]
+	ax = ax[:n]
+	ay = ay[:n]
+	az = az[:n]
+	apot = apot[:n]
+	for i := 0; i < n; i++ {
+		xi, yi, zi := tx[i], ty[i], tz[i]
+		var axi, ayi, azi, poti float64
+		for k := 0; k < len(sx); k++ {
+			dx := sx[k] - xi
+			dy := sy[k] - yi
+			dz := sz[k] - zi
+			r2 := dx*dx + dy*dy + dz*dz + eps2
+			rinv := 1 / math.Sqrt(r2)
+			mr := sm[k] * rinv
+			mr3 := mr * rinv * rinv
+			axi += dx * mr3
+			ayi += dy * mr3
+			azi += dz * mr3
+			poti -= mr
+		}
+		ax[i] += axi
+		ay[i] += ayi
+		az[i] += azi
+		apot[i] += poti
+	}
+}
+
+// PCBatch evaluates every target against every gathered cell multipole with
+// quadrupole corrections, accumulating into ax/ay/az/apot. The math matches
+// PC (paper eqs. 1-2) term for term.
+func PCBatch(tx, ty, tz []float64, src *PCSoA, eps2 float64, ax, ay, az, apot []float64) {
+	cx := src.X
+	cy := src.Y[:len(cx)]
+	cz := src.Z[:len(cx)]
+	cm := src.M[:len(cx)]
+	qxx := src.XX[:len(cx)]
+	qyy := src.YY[:len(cx)]
+	qzz := src.ZZ[:len(cx)]
+	qxy := src.XY[:len(cx)]
+	qxz := src.XZ[:len(cx)]
+	qyz := src.YZ[:len(cx)]
+	n := len(tx)
+	ty = ty[:n]
+	tz = tz[:n]
+	ax = ax[:n]
+	ay = ay[:n]
+	az = az[:n]
+	apot = apot[:n]
+	for i := 0; i < n; i++ {
+		xi, yi, zi := tx[i], ty[i], tz[i]
+		var axi, ayi, azi, poti float64
+		for k := 0; k < len(cx); k++ {
+			dx := cx[k] - xi
+			dy := cy[k] - yi
+			dz := cz[k] - zi
+			r2 := dx*dx + dy*dy + dz*dz + eps2
+			rinv := 1 / math.Sqrt(r2)
+			rinv2 := rinv * rinv
+			rinv3 := rinv2 * rinv
+			rinv5 := rinv3 * rinv2
+			rinv7 := rinv5 * rinv2
+
+			trQ := qxx[k] + qyy[k] + qzz[k]
+			qrx := qxx[k]*dx + qxy[k]*dy + qxz[k]*dz
+			qry := qxy[k]*dx + qyy[k]*dy + qyz[k]*dz
+			qrz := qxz[k]*dx + qyz[k]*dy + qzz[k]*dz
+			rqr := dx*qrx + dy*qry + dz*qrz
+
+			poti += -cm[k]*rinv + 0.5*trQ*rinv3 - 1.5*rqr*rinv5
+			s := cm[k]*rinv3 - 1.5*trQ*rinv5 + 7.5*rqr*rinv7
+			q5 := -3 * rinv5
+			axi += dx*s + qrx*q5
+			ayi += dy*s + qry*q5
+			azi += dz*s + qrz*q5
+		}
+		ax[i] += axi
+		ay[i] += ayi
+		az[i] += azi
+		apot[i] += poti
+	}
+}
+
+// Gflops returns the effective sustained rate, in Gflop/s, of evaluating the
+// counted interactions in the given wall-clock time, under the paper's §VI.A
+// 23/65-flop conventions. Zero or negative durations report zero.
+func (s Stats) Gflops(elapsed time.Duration) float64 {
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return s.Flops() / secs / 1e9
+}

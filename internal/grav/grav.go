@@ -10,6 +10,7 @@ package grav
 
 import (
 	"math"
+	"sync/atomic"
 
 	"bonsai/internal/vec"
 )
@@ -61,6 +62,14 @@ type Stats struct {
 func (s *Stats) Add(s2 Stats) {
 	s.PP += s2.PP
 	s.PC += s2.PC
+}
+
+// AddAtomic accumulates s2 into s with atomic adds, for concurrent walk
+// workers merging their per-worker counts into a shared Stats without a lock.
+// Readers must not inspect s until the workers have been joined.
+func (s *Stats) AddAtomic(s2 Stats) {
+	atomic.AddUint64(&s.PP, s2.PP)
+	atomic.AddUint64(&s.PC, s2.PC)
 }
 
 // Flops returns the total operation count under the paper's convention.

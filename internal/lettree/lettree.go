@@ -25,6 +25,7 @@ package lettree
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"bonsai/internal/grav"
 	"bonsai/internal/octree"
@@ -227,11 +228,12 @@ func macOpen(groupBox vec.Box, c *Cell, theta float64) bool {
 // ---------------------------------------------------------------------------
 // Gravity from a LET
 
-// walkScratch reuses traversal buffers across groups.
+// walkScratch reuses traversal and SoA gather buffers across groups.
 type walkScratch struct {
 	stack []int32
-	cells []grav.Multipole
-	parts []int32
+	pp    grav.PPSoA
+	pc    grav.PCSoA
+	tg    grav.Targets
 }
 
 var scratchPool = sync.Pool{New: func() any { return &walkScratch{} }}
@@ -262,15 +264,8 @@ func Walk(l *LET, groups []octree.Group, tpos []vec.V3, theta, eps2 float64,
 	}
 
 	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var forcedTotal int64
-	next := make(chan int, workers)
-	go func() {
-		for g := range groups {
-			next <- g
-		}
-		close(next)
-	}()
+	var next atomic.Int64
+	var forcedTotal atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -278,29 +273,33 @@ func Walk(l *LET, groups []octree.Group, tpos []vec.V3, theta, eps2 float64,
 			var local grav.Stats
 			var forced int64
 			sc := scratchPool.Get().(*walkScratch)
-			for g := range next {
+			for {
+				g := int(next.Add(1)) - 1
+				if g >= len(groups) {
+					break
+				}
 				forced += walkGroup(l, &groups[g], tpos, theta, eps2, acc, pot, sc, &local)
 			}
 			scratchPool.Put(sc)
-			mu.Lock()
 			if st != nil {
-				st.Add(local)
+				st.AddAtomic(local)
 			}
-			forcedTotal += forced
-			mu.Unlock()
+			forcedTotal.Add(forced)
 		}()
 	}
 	wg.Wait()
-	return forcedTotal
+	return forcedTotal.Load()
 }
 
 func walkGroup(l *LET, g *octree.Group, tpos []vec.V3, theta, eps2 float64,
 	acc []vec.V3, pot []float64, sc *walkScratch, st *grav.Stats) (forced int64) {
 
 	sc.stack = append(sc.stack[:0], 0)
-	sc.cells = sc.cells[:0]
-	sc.parts = sc.parts[:0]
+	sc.pc.Reset()
+	sc.pp.Reset()
 
+	// Traverse once per group, gathering accepted multipoles and opened-leaf
+	// particles directly into the SoA scratch the batched kernels stream.
 	for len(sc.stack) > 0 {
 		idx := sc.stack[len(sc.stack)-1]
 		sc.stack = sc.stack[:len(sc.stack)-1]
@@ -309,17 +308,17 @@ func walkGroup(l *LET, g *octree.Group, tpos []vec.V3, theta, eps2 float64,
 			continue
 		}
 		if !macOpen(g.Box, c, theta) {
-			sc.cells = append(sc.cells, c.MP)
+			sc.pc.Append(c.MP)
 			continue
 		}
 		if !c.Openable {
-			sc.cells = append(sc.cells, c.MP) // degrade gracefully; flagged
+			sc.pc.Append(c.MP) // degrade gracefully; flagged
 			forced++
 			continue
 		}
 		if c.Leaf {
 			for i := c.PStart; i < c.PStart+c.PN; i++ {
-				sc.parts = append(sc.parts, i)
+				sc.pp.Append(l.Parts[i].Pos, l.Parts[i].Mass)
 			}
 			continue
 		}
@@ -330,20 +329,14 @@ func walkGroup(l *LET, g *octree.Group, tpos []vec.V3, theta, eps2 float64,
 		}
 	}
 
-	for i := g.Start; i < g.Start+g.N; i++ {
-		p := tpos[i]
-		var f grav.Force
-		for _, mp := range sc.cells {
-			f.Add(grav.PC(p, mp, eps2))
-		}
-		for _, pj := range sc.parts {
-			f.Add(grav.PP(p, l.Parts[pj].Pos, l.Parts[pj].Mass, eps2))
-		}
-		acc[i] = acc[i].Add(f.Acc)
-		pot[i] += f.Pot
-	}
-	st.PC += uint64(len(sc.cells)) * uint64(g.N)
-	st.PP += uint64(len(sc.parts)) * uint64(g.N)
+	lo, hi := g.Start, g.Start+g.N
+	sc.tg.Gather(tpos[lo:hi])
+	grav.PCBatch(sc.tg.X, sc.tg.Y, sc.tg.Z, &sc.pc, eps2, sc.tg.AX, sc.tg.AY, sc.tg.AZ, sc.tg.Pot)
+	grav.PPBatch(sc.tg.X, sc.tg.Y, sc.tg.Z, &sc.pp, eps2, sc.tg.AX, sc.tg.AY, sc.tg.AZ, sc.tg.Pot)
+	sc.tg.Scatter(acc[lo:hi], pot[lo:hi])
+
+	st.PC += uint64(sc.pc.Len()) * uint64(g.N)
+	st.PP += uint64(sc.pp.Len()) * uint64(g.N)
 	return forced
 }
 

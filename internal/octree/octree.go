@@ -16,6 +16,7 @@ package octree
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"bonsai/internal/grav"
 	"bonsai/internal/keys"
@@ -313,11 +314,14 @@ type WalkLists struct {
 	stack []int32 // traversal scratch, reused across Collect calls
 }
 
-// walkScratch holds reusable traversal buffers.
+// walkScratch holds reusable per-worker buffers: traversal stack and lists,
+// plus the SoA gather scratch the batched kernels evaluate from.
 type walkScratch struct {
 	stack []int32
 	lists WalkLists
-	cells []grav.Multipole
+	pp    grav.PPSoA
+	pc    grav.PCSoA
+	tg    grav.Targets
 }
 
 var scratchPool = sync.Pool{New: func() any { return &walkScratch{} }}
@@ -370,8 +374,10 @@ func (t *Tree) collect(groupBox vec.Box, theta float64, stack *[]int32, out *Wal
 // on the target particles, one interaction list per group. Results are
 // *accumulated* into acc and pot (callers zero them first when appropriate).
 // The walk is parallel over groups with the given worker count (<=0 means 1;
-// the sim layer supplies its own pool size). Interaction counts are added to
-// st if non-nil.
+// the sim layer supplies its own pool size): workers claim groups from a
+// shared atomic counter, so no worker ever blocks on a feeder channel and the
+// tail of the group list is stolen by whichever workers finish early.
+// Interaction counts are added to st if non-nil, merged with atomic adds.
 func (t *Tree) Walk(groups []Group, tpos []vec.V3, theta, eps2 float64,
 	acc []vec.V3, pot []float64, workers int, st *grav.Stats) {
 
@@ -392,34 +398,33 @@ func (t *Tree) Walk(groups []Group, tpos []vec.V3, theta, eps2 float64,
 	}
 
 	var wg sync.WaitGroup
-	var mu sync.Mutex
-	next := make(chan int, workers)
-	go func() {
-		for g := range groups {
-			next <- g
-		}
-		close(next)
-	}()
+	var next atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			var local grav.Stats
 			sc := scratchPool.Get().(*walkScratch)
-			for g := range next {
+			for {
+				g := int(next.Add(1)) - 1
+				if g >= len(groups) {
+					break
+				}
 				t.walkGroup(&groups[g], tpos, theta, eps2, acc, pot, sc, &local)
 			}
 			scratchPool.Put(sc)
 			if st != nil {
-				mu.Lock()
-				st.Add(local)
-				mu.Unlock()
+				st.AddAtomic(local)
 			}
 		}()
 	}
 	wg.Wait()
 }
 
+// walkGroup traverses for one group, gathers the interaction list into SoA
+// scratch, and evaluates the whole group through the batched kernels. Each
+// group writes a disjoint [Start, Start+N) range of acc/pot, so concurrent
+// workers never contend.
 func (t *Tree) walkGroup(g *Group, tpos []vec.V3, theta, eps2 float64,
 	acc []vec.V3, pot []float64, sc *walkScratch, st *grav.Stats) {
 
@@ -431,26 +436,25 @@ func (t *Tree) walkGroup(g *Group, tpos []vec.V3, theta, eps2 float64,
 	sc.lists.PartIdx = sc.lists.PartIdx[:0]
 	t.collect(g.Box, theta, &sc.stack, &sc.lists)
 
-	// Materialize the cell multipole list once per group.
-	sc.cells = sc.cells[:0]
+	// Gather the interaction list once per group: cell multipoles and source
+	// particles into SoA slices, target positions into the accumulator block.
+	sc.pc.Reset()
 	for _, ci := range sc.lists.CellIdx {
-		sc.cells = append(sc.cells, t.Cells[ci].MP)
+		sc.pc.Append(t.Cells[ci].MP)
 	}
+	sc.pp.Reset()
+	for _, pj := range sc.lists.PartIdx {
+		sc.pp.Append(t.Pos[pj], t.Mass[pj])
+	}
+	lo, hi := g.Start, g.Start+g.N
+	sc.tg.Gather(tpos[lo:hi])
 
-	for i := g.Start; i < g.Start+g.N; i++ {
-		p := tpos[i]
-		var f grav.Force
-		for _, c := range sc.cells {
-			f.Add(grav.PC(p, c, eps2))
-		}
-		for _, pj := range sc.lists.PartIdx {
-			f.Add(grav.PP(p, t.Pos[pj], t.Mass[pj], eps2))
-		}
-		acc[i] = acc[i].Add(f.Acc)
-		pot[i] += f.Pot
-	}
-	st.PC += uint64(len(sc.cells)) * uint64(g.N)
-	st.PP += uint64(len(sc.lists.PartIdx)) * uint64(g.N)
+	grav.PCBatch(sc.tg.X, sc.tg.Y, sc.tg.Z, &sc.pc, eps2, sc.tg.AX, sc.tg.AY, sc.tg.AZ, sc.tg.Pot)
+	grav.PPBatch(sc.tg.X, sc.tg.Y, sc.tg.Z, &sc.pp, eps2, sc.tg.AX, sc.tg.AY, sc.tg.AZ, sc.tg.Pot)
+	sc.tg.Scatter(acc[lo:hi], pot[lo:hi])
+
+	st.PC += uint64(sc.pc.Len()) * uint64(g.N)
+	st.PP += uint64(sc.pp.Len()) * uint64(g.N)
 }
 
 // TotalMass returns the mass of the root cell (zero for an empty tree).

@@ -180,6 +180,89 @@ func TestGroupsCoverAllParticlesOnce(t *testing.T) {
 	}
 }
 
+func TestMakeGroupsEdgeCases(t *testing.T) {
+	// Empty tree: no groups, and walking the (empty) group set is a no-op.
+	empty, _ := BuildFrom(nil, nil, 16, 2)
+	if g := empty.MakeGroups(64); len(g) != 0 {
+		t.Fatalf("empty tree produced %d groups", len(g))
+	}
+
+	// n < ngroup: the root itself is the single group, covering everything.
+	pos, mass := randomCloud(17, 21)
+	tr, _ := BuildFrom(pos, mass, 16, 2)
+	groups := tr.MakeGroups(1000)
+	if len(groups) != 1 || groups[0].Start != 0 || int(groups[0].N) != len(pos) {
+		t.Fatalf("n<ngroup: groups = %+v", groups)
+	}
+
+	// ngroup <= 0 selects DefaultNGroup: group sizes bounded by it.
+	pos, mass = randomCloud(3000, 22)
+	tr, _ = BuildFrom(pos, mass, 16, 2)
+	var covered int32
+	for _, g := range tr.MakeGroups(0) {
+		if int(g.N) > DefaultNGroup && g.N > int32(tr.NLeaf) {
+			t.Fatalf("ngroup=0: group size %d exceeds default %d", g.N, DefaultNGroup)
+		}
+		covered += g.N
+	}
+	if int(covered) != len(pos) {
+		t.Fatalf("ngroup=0: groups cover %d of %d particles", covered, len(pos))
+	}
+}
+
+func TestGroupsOfEdgeCases(t *testing.T) {
+	if g := GroupsOf(nil, 64); len(g) != 0 {
+		t.Fatalf("empty positions produced %d groups", len(g))
+	}
+
+	pos, _ := randomCloud(10, 23)
+	// n < ngroup: one group of all particles with a tight box.
+	groups := GroupsOf(pos, 64)
+	if len(groups) != 1 || int(groups[0].N) != len(pos) {
+		t.Fatalf("n<ngroup: groups = %+v", groups)
+	}
+	for _, p := range pos {
+		if !groups[0].Box.Contains(p) {
+			t.Fatal("group box misses a particle")
+		}
+	}
+
+	// ngroup <= 0 selects DefaultNGroup.
+	pos, _ = randomCloud(DefaultNGroup*2+5, 24)
+	groups = GroupsOf(pos, 0)
+	if len(groups) != 3 {
+		t.Fatalf("ngroup=0 over %d particles: %d groups, want 3", len(pos), len(groups))
+	}
+	var covered int
+	for _, g := range groups {
+		covered += int(g.N)
+	}
+	if covered != len(pos) {
+		t.Fatalf("groups cover %d of %d particles", covered, len(pos))
+	}
+}
+
+func TestWalkStatsMatchAcrossWorkerCounts(t *testing.T) {
+	// The interaction counts are a deterministic property of the group lists;
+	// the work-stealing parallel walk must merge per-worker stats without
+	// losing updates.
+	pos, mass := clusteredCloud(4000, 25)
+	tr, _ := BuildFrom(pos, mass, 16, 2)
+	groups := tr.MakeGroups(64)
+	n := tr.NumParticles()
+	var ref grav.Stats
+	acc := make([]vec.V3, n)
+	pot := make([]float64, n)
+	tr.Walk(groups, tr.Pos, 0.5, 1e-4, acc, pot, 1, &ref)
+	for _, w := range []int{2, 4, 8, 16} {
+		var st grav.Stats
+		tr.Walk(groups, tr.Pos, 0.5, 1e-4, acc, pot, w, &st)
+		if st != ref {
+			t.Fatalf("workers=%d: stats %+v != serial %+v", w, st, ref)
+		}
+	}
+}
+
 // directForces computes the exact forces by O(N²) summation.
 func directForces(pos []vec.V3, mass []float64, eps2 float64) ([]vec.V3, []float64) {
 	n := len(pos)
