@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: tier1 vet build test race bench bench-overlap
+.PHONY: tier1 vet build test race bench bench-overlap trace-smoke
 
 # tier1 is the pre-merge gate: static checks, full build and test suite,
 # plus the race-detector subset covering the concurrent gravity pipeline
@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/sim ./internal/mpi ./internal/psort
+	$(GO) test -race -count=1 ./internal/sim ./internal/mpi ./internal/psort ./internal/obs
 
 # Force-kernel microbenchmarks (batched SoA vs scalar per-pair, ns/inter)
 # plus the full 100k-particle tree-walk, recorded as a JSON baseline so the
@@ -32,3 +32,14 @@ bench:
 # overlap_% rise in the Pipelined variants.
 bench-overlap:
 	$(GO) test -run XXX -bench 'BenchmarkOverlap' -benchtime 3x .
+
+# End-to-end smoke test of the observability layer: a traced 4-rank run must
+# produce a Perfetto-loadable Chrome trace and a parseable metrics stream,
+# and tracestats must turn both into the overlap/straggler report.
+trace-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/bonsai -model plummer -n 4000 -ranks 4 -steps 2 -q \
+	  -trace "$$tmp/trace.json" -metrics "$$tmp/metrics.jsonl" && \
+	$(GO) run ./cmd/tracestats -metrics "$$tmp/metrics.jsonl" "$$tmp/trace.json" && \
+	$(GO) run ./cmd/snapinfo -metrics "$$tmp/metrics.jsonl" >/dev/null && \
+	echo "trace-smoke: OK"

@@ -1,9 +1,12 @@
 package bonsai
 
 import (
+	"errors"
+	"io"
 	"time"
 
 	"bonsai/internal/body"
+	"bonsai/internal/obs"
 	"bonsai/internal/sim"
 	"bonsai/internal/units"
 	"bonsai/internal/vec"
@@ -80,6 +83,13 @@ type Config struct {
 	// local walk, and incoming ones are walked only after it. Kept as the
 	// measurable non-overlapped baseline for the overlap benchmarks.
 	SerialLET bool
+
+	// Tracing enables the event-level observability layer: per-rank span
+	// timelines (exported with WriteChromeTrace), LET-arrival and walk
+	// histograms, and per-evaluation metrics (WriteMetricsJSONL). Disabled
+	// (the default) it costs one nil check per record point and does not
+	// change results.
+	Tracing bool
 }
 
 // SofteningForN returns the softening (kpc) matching the paper's resolution
@@ -159,6 +169,14 @@ type Simulation struct {
 
 // New creates a simulation from the given particles.
 func New(cfg Config, parts []Particle) (*Simulation, error) {
+	var rec *obs.Recorder
+	if cfg.Tracing {
+		ranks := cfg.Ranks
+		if ranks <= 0 {
+			ranks = 1 // mirror sim.New's default
+		}
+		rec = obs.New(ranks, 0)
+	}
 	inner, err := sim.New(sim.Config{
 		Ranks:          cfg.Ranks,
 		WorkersPerRank: cfg.WorkersPerRank,
@@ -173,6 +191,7 @@ func New(cfg Config, parts []Particle) (*Simulation, error) {
 		External:       wrapExternal(cfg.External),
 		LETWorkers:     cfg.LETWorkers,
 		SerialLET:      cfg.SerialLET,
+		Obs:            rec,
 	}, toBody(parts))
 	if err != nil {
 		return nil, err
@@ -236,6 +255,45 @@ func (s *Simulation) Owners() []int { return s.inner.Owners() }
 
 // CommBytes returns the cumulative metered communication volume.
 func (s *Simulation) CommBytes() int64 { return s.inner.World().TotalBytes() }
+
+// ErrTracingDisabled is returned by the trace exporters when the simulation
+// was created without Config.Tracing.
+var ErrTracingDisabled = errors.New("bonsai: tracing not enabled (set Config.Tracing)")
+
+// WriteChromeTrace exports the recorded span timeline in Chrome trace-event
+// JSON (load in Perfetto / chrome://tracing: one process per rank, one lane
+// per pipeline role). Requires Config.Tracing.
+func (s *Simulation) WriteChromeTrace(w io.Writer) error {
+	rec := s.inner.Obs()
+	if rec == nil {
+		return ErrTracingDisabled
+	}
+	return rec.WriteChromeTrace(w)
+}
+
+// WriteMetricsJSONL exports one JSON object per force evaluation (overlap
+// fraction, straggler rank, imbalance, Gflop/s, worst LET arrival) followed
+// by the histogram snapshots. Requires Config.Tracing.
+func (s *Simulation) WriteMetricsJSONL(w io.Writer) error {
+	rec := s.inner.Obs()
+	if rec == nil {
+		return ErrTracingDisabled
+	}
+	return rec.WriteMetricsJSONL(w)
+}
+
+// PublishExpvar exposes the live metric histograms through the expvar
+// variable "bonsai.obs" (serve with net/http's /debug/vars). Requires
+// Config.Tracing; safe to call at most once per process image, repeated
+// calls are no-ops.
+func (s *Simulation) PublishExpvar() error {
+	rec := s.inner.Obs()
+	if rec == nil {
+		return ErrTracingDisabled
+	}
+	rec.PublishExpvar()
+	return nil
+}
 
 // ---------------------------------------------------------------------------
 // conversions

@@ -15,7 +15,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"os"
 	"runtime"
 
 	"bonsai"
@@ -39,6 +42,9 @@ func main() {
 		snapEvery  = flag.Int("snap-every", 0, "snapshot interval in steps (0 = none)")
 		snapPrefix = flag.String("snap-prefix", "snap", "snapshot filename prefix")
 		quiet      = flag.Bool("q", false, "suppress per-step output")
+		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON timeline here (open in Perfetto)")
+		metricsOut = flag.String("metrics", "", "write per-step JSONL metrics here (analyze with tracestats -metrics)")
+		expvarAddr = flag.String("expvar", "", "serve live metrics on this address under /debug/vars (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -82,6 +88,7 @@ func main() {
 	if *model == "plummer" && *restore == "" {
 		gconst = 1
 	}
+	tracing := *tracePath != "" || *metricsOut != "" || *expvarAddr != ""
 	s, err := bonsai.New(bonsai.Config{
 		Ranks:          *ranks,
 		WorkersPerRank: *workers,
@@ -89,9 +96,21 @@ func main() {
 		Softening:      *eps,
 		DT:             *dt,
 		GravConst:      gconst,
+		Tracing:        tracing,
 	}, parts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *expvarAddr != "" {
+		if err := s.PublishExpvar(); err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			if err := http.ListenAndServe(*expvarAddr, nil); err != nil {
+				log.Printf("expvar server: %v", err)
+			}
+		}()
+		fmt.Printf("live metrics: http://%s/debug/vars\n", *expvarAddr)
 	}
 
 	fmt.Printf("N=%d ranks=%d workers/rank=%d theta=%.2f eps=%.4f kpc dt=%.3e (%.2f Myr)\n",
@@ -121,7 +140,33 @@ func main() {
 		}
 	}
 
+	if *tracePath != "" {
+		if err := writeFileWith(*tracePath, s.WriteChromeTrace); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace -> %s (open in https://ui.perfetto.dev)\n", *tracePath)
+	}
+	if *metricsOut != "" {
+		if err := writeFileWith(*metricsOut, s.WriteMetricsJSONL); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics -> %s (summarize with tracestats -metrics)\n", *metricsOut)
+	}
+
 	k, p := s.Energy()
 	fmt.Printf("done: t=%.4f Gyr, E=%.5e K=%.4e W=%.4e, comm=%.1f MB\n",
 		startTime+bonsai.Gyr(s.Time()), k+p, k, p, float64(s.CommBytes())/1e6)
+}
+
+// writeFileWith creates path and streams an exporter into it.
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

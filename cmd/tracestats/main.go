@@ -1,0 +1,69 @@
+// Command tracestats analyzes the observability artifacts a traced bonsai
+// run writes: a Chrome trace-event timeline (bonsai -trace) and/or a
+// per-step JSONL metrics stream (bonsai -metrics). It prints the paper's
+// Fig. 5-style overlap report: per evaluation, which rank finished its
+// local walk last (the straggler), and for every rank how many full LETs
+// arrived before vs after its local walk completed — arrivals before
+// completion are communication fully hidden behind compute.
+//
+// Examples:
+//
+//	bonsai -ranks 4 -steps 2 -trace step.json -metrics step.jsonl
+//	tracestats step.json
+//	tracestats -metrics step.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bonsai/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracestats: ")
+
+	metricsPath := flag.String("metrics", "", "per-step JSONL metrics file (from bonsai -metrics)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: tracestats [-metrics metrics.jsonl] [trace.json]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if flag.NArg() == 0 && *metricsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		events, err := obs.ParseChromeTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		fmt.Printf("== %s ==\n", path)
+		obs.AnalyzeTrace(events).Format(os.Stdout)
+	}
+
+	if *metricsPath != "" {
+		f, err := os.Open(*metricsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		steps, err := obs.ReadMetricsJSONL(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", *metricsPath, err)
+		}
+		fmt.Printf("== %s ==\n", *metricsPath)
+		obs.FormatMetricsSummary(os.Stdout, steps)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"bonsai/internal/grav"
+	"bonsai/internal/obs"
 	"bonsai/internal/octree"
 	"bonsai/internal/vec"
 )
@@ -245,6 +246,14 @@ var scratchPool = sync.Pool{New: func() any { return &walkScratch{} }}
 // protocol violation and are surfaced through the returned count.
 func Walk(l *LET, groups []octree.Group, tpos []vec.V3, theta, eps2 float64,
 	acc []vec.V3, pot []float64, workers int, st *grav.Stats) (forcedAccepts int64) {
+	return WalkObs(l, groups, tpos, theta, eps2, acc, pot, workers, st, nil)
+}
+
+// WalkObs is Walk with an optional observability hook: when listLen is
+// non-nil, the interaction-list length of every target group is recorded into
+// it. A nil listLen costs one branch per group.
+func WalkObs(l *LET, groups []octree.Group, tpos []vec.V3, theta, eps2 float64,
+	acc []vec.V3, pot []float64, workers int, st *grav.Stats, listLen *obs.Hist) (forcedAccepts int64) {
 
 	if l.Empty() || len(groups) == 0 {
 		return 0
@@ -254,7 +263,7 @@ func Walk(l *LET, groups []octree.Group, tpos []vec.V3, theta, eps2 float64,
 		var forced int64
 		sc := scratchPool.Get().(*walkScratch)
 		for g := range groups {
-			forced += walkGroup(l, &groups[g], tpos, theta, eps2, acc, pot, sc, &local)
+			forced += walkGroup(l, &groups[g], tpos, theta, eps2, acc, pot, sc, &local, listLen)
 		}
 		scratchPool.Put(sc)
 		if st != nil {
@@ -278,7 +287,7 @@ func Walk(l *LET, groups []octree.Group, tpos []vec.V3, theta, eps2 float64,
 				if g >= len(groups) {
 					break
 				}
-				forced += walkGroup(l, &groups[g], tpos, theta, eps2, acc, pot, sc, &local)
+				forced += walkGroup(l, &groups[g], tpos, theta, eps2, acc, pot, sc, &local, listLen)
 			}
 			scratchPool.Put(sc)
 			if st != nil {
@@ -292,7 +301,7 @@ func Walk(l *LET, groups []octree.Group, tpos []vec.V3, theta, eps2 float64,
 }
 
 func walkGroup(l *LET, g *octree.Group, tpos []vec.V3, theta, eps2 float64,
-	acc []vec.V3, pot []float64, sc *walkScratch, st *grav.Stats) (forced int64) {
+	acc []vec.V3, pot []float64, sc *walkScratch, st *grav.Stats, listLen *obs.Hist) (forced int64) {
 
 	sc.stack = append(sc.stack[:0], 0)
 	sc.pc.Reset()
@@ -331,6 +340,7 @@ func walkGroup(l *LET, g *octree.Group, tpos []vec.V3, theta, eps2 float64,
 
 	lo, hi := g.Start, g.Start+g.N
 	sc.tg.Gather(tpos[lo:hi])
+	listLen.Observe(int64(sc.pc.Len() + sc.pp.Len()))
 	grav.PCBatch(sc.tg.X, sc.tg.Y, sc.tg.Z, &sc.pc, eps2, sc.tg.AX, sc.tg.AY, sc.tg.AZ, sc.tg.Pot)
 	grav.PPBatch(sc.tg.X, sc.tg.Y, sc.tg.Z, &sc.pp, eps2, sc.tg.AX, sc.tg.AY, sc.tg.AZ, sc.tg.Pot)
 	sc.tg.Scatter(acc[lo:hi], pot[lo:hi])

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"bonsai/internal/obs"
 )
 
 // MaxUserTag is the exclusive upper bound for user point-to-point tags;
@@ -64,6 +66,13 @@ type World struct {
 	mail      []*mailbox
 	bytesSent []atomic.Int64
 	msgsSent  []atomic.Int64
+
+	// Observability (nil/empty when disabled, the default): queueDepth
+	// records the destination mailbox depth seen by every send, and
+	// pairBytes is a size×size row-major matrix of bytes sent per
+	// (from, to) rank pair.
+	queueDepth *obs.Hist
+	pairBytes  []atomic.Int64
 }
 
 // NewWorld creates a world with the given number of ranks.
@@ -113,6 +122,24 @@ func (w *World) TotalMessages() int64 {
 	return t
 }
 
+// EnableObs turns on communication observability: every send records the
+// destination mailbox depth into queueDepth (may be nil to skip) and its
+// declared bytes into a per-(from,to) pair matrix. Call before the ranks
+// start communicating.
+func (w *World) EnableObs(queueDepth *obs.Hist) {
+	w.queueDepth = queueDepth
+	w.pairBytes = make([]atomic.Int64, w.size*w.size)
+}
+
+// PairBytes returns the cumulative bytes sent from one rank to another, as
+// declared by senders. Zero unless EnableObs was called.
+func (w *World) PairBytes(from, to int) int64 {
+	if w.pairBytes == nil {
+		return 0
+	}
+	return w.pairBytes[from*w.size+to].Load()
+}
+
 // ResetCounters zeroes the traffic meters.
 func (w *World) ResetCounters() {
 	for i := 0; i < w.size; i++ {
@@ -158,11 +185,16 @@ func (c *Comm) send(to, tag int, data any, nbytes int) {
 	}
 	c.w.bytesSent[c.rank].Add(int64(nbytes))
 	c.w.msgsSent[c.rank].Add(1)
+	if c.w.pairBytes != nil {
+		c.w.pairBytes[c.rank*c.w.size+to].Add(int64(nbytes))
+	}
 	mb := c.w.mail[to]
 	mb.mu.Lock()
 	mb.queue = append(mb.queue, message{from: c.rank, tag: tag, data: data})
+	depth := len(mb.queue)
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
+	c.w.queueDepth.Observe(int64(depth))
 }
 
 // Recv blocks until a message from rank `from` with the given tag arrives

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceEvent is one Chrome trace-event-format record (the JSON schema that
+// chrome://tracing and Perfetto load). We emit "M" metadata events naming one
+// process per rank and one thread per lane role, "X" complete events for
+// spans, and "i" instant events for markers. Timestamps and durations are
+// microseconds (float), per the format.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container form of the format.
+type chromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit,omitempty"`
+}
+
+// tid maps a (lane, worker) pair to a stable thread id within a rank track:
+// compute 0, receiver 1, builders 2+worker.
+func tid(lane Lane, worker uint8) int {
+	switch lane {
+	case LaneCompute:
+		return 0
+	case LaneReceiver:
+		return 1
+	default:
+		return 2 + int(worker)
+	}
+}
+
+func tidName(t int) string {
+	switch t {
+	case 0:
+		return "compute"
+	case 1:
+		return "receiver"
+	default:
+		return fmt.Sprintf("builder-%d", t-2)
+	}
+}
+
+// WriteChromeTrace exports every recorded span as Chrome trace-event JSON:
+// one track (pid) per rank named "rank N", one lane (tid) per thread role.
+// The output loads directly in chrome://tracing and ui.perfetto.dev.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("obs: tracing is not enabled")
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+
+	var events []TraceEvent
+	for rank := range r.ranks {
+		rr := &r.ranks[rank]
+		spans := rr.Spans()
+		// Metadata: process name + sort order, thread names for lanes seen.
+		events = append(events,
+			TraceEvent{Name: "process_name", Ph: "M", PID: rank,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)}},
+			TraceEvent{Name: "process_sort_index", Ph: "M", PID: rank,
+				Args: map[string]any{"sort_index": rank}},
+		)
+		seen := map[int]bool{}
+		for i := range spans {
+			t := tid(spans[i].Lane, spans[i].Worker)
+			if !seen[t] {
+				seen[t] = true
+				events = append(events,
+					TraceEvent{Name: "thread_name", Ph: "M", PID: rank, TID: t,
+						Args: map[string]any{"name": tidName(t)}},
+					TraceEvent{Name: "thread_sort_index", Ph: "M", PID: rank, TID: t,
+						Args: map[string]any{"sort_index": t}},
+				)
+			}
+		}
+		for i := range spans {
+			s := &spans[i]
+			ev := TraceEvent{
+				Name: s.Phase.String(),
+				Cat:  s.Lane.String(),
+				TS:   float64(s.Start) / 1e3,
+				PID:  rank,
+				TID:  tid(s.Lane, s.Worker),
+				Args: map[string]any{"step": int(s.Step), "arg": s.Arg},
+			}
+			if s.Phase.Instant() {
+				ev.Ph = "i"
+				ev.Scope = "t"
+			} else {
+				ev.Ph = "X"
+				ev.Dur = float64(s.End-s.Start) / 1e3
+			}
+			events = append(events, ev)
+		}
+		if d := rr.Dropped(); d > 0 {
+			events = append(events, TraceEvent{
+				Name: "spans_dropped", Ph: "i", Scope: "p", PID: rank, TID: 0,
+				TS:   0,
+				Args: map[string]any{"dropped": d},
+			})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ph == "M" != (events[j].Ph == "M") {
+			return events[i].Ph == "M"
+		}
+		return events[i].TS < events[j].TS
+	})
+	return encodeTrace(enc, bw, events)
+}
+
+func encodeTrace(enc *json.Encoder, bw *bufio.Writer, events []TraceEvent) error {
+	if err := enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ParseChromeTrace reads a trace produced by WriteChromeTrace (or any
+// object-form Chrome trace) back into its event list.
+func ParseChromeTrace(r io.Reader) ([]TraceEvent, error) {
+	var ct chromeTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&ct); err != nil {
+		return nil, fmt.Errorf("obs: invalid chrome trace: %w", err)
+	}
+	return ct.TraceEvents, nil
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Metrics is the fixed set of named histograms the tree-code records. All
+// fields are safe for concurrent Observe calls; a nil *Metrics (disabled
+// observability) makes every accessor return a nil *Hist, which no-ops.
+type Metrics struct {
+	// LETArrival is the arrival time of each full LET minus the local-walk
+	// completion time of the receiving rank, in nanoseconds. Negative values
+	// are LETs whose communication was fully hidden behind the local walk
+	// (the paper's Fig. 5 overlap story); positive values are stragglers the
+	// compute thread had to wait for.
+	LETArrival Hist
+	// LETWalk is the wall-clock latency of walking one received LET, ns.
+	LETWalk Hist
+	// ListLen is the interaction-list length (accepted cells + opened-leaf
+	// particles) per target group, local and LET walks combined.
+	ListLen Hist
+	// QueueDepth is the receiving mailbox depth observed by each send.
+	QueueDepth Hist
+	// Imbalance is the per-evaluation load imbalance: slowest-rank step time
+	// minus the mean rank step time, ns.
+	Imbalance Hist
+}
+
+func newMetrics() Metrics {
+	return Metrics{
+		LETArrival: Hist{Name: "let_arrival_offset", Unit: "ns"},
+		LETWalk:    Hist{Name: "let_walk_latency", Unit: "ns"},
+		ListLen:    Hist{Name: "interaction_list_len", Unit: "count"},
+		QueueDepth: Hist{Name: "mailbox_queue_depth", Unit: "count"},
+		Imbalance:  Hist{Name: "rank_imbalance", Unit: "ns"},
+	}
+}
+
+// LETArrivalHist returns the arrival-offset histogram (nil when disabled).
+func (m *Metrics) LETArrivalHist() *Hist {
+	if m == nil {
+		return nil
+	}
+	return &m.LETArrival
+}
+
+// LETWalkHist returns the LET-walk-latency histogram (nil when disabled).
+func (m *Metrics) LETWalkHist() *Hist {
+	if m == nil {
+		return nil
+	}
+	return &m.LETWalk
+}
+
+// ListLenHist returns the interaction-list-length histogram (nil when disabled).
+func (m *Metrics) ListLenHist() *Hist {
+	if m == nil {
+		return nil
+	}
+	return &m.ListLen
+}
+
+// QueueDepthHist returns the mailbox-depth histogram (nil when disabled).
+func (m *Metrics) QueueDepthHist() *Hist {
+	if m == nil {
+		return nil
+	}
+	return &m.QueueDepth
+}
+
+// ImbalanceHist returns the rank-imbalance histogram (nil when disabled).
+func (m *Metrics) ImbalanceHist() *Hist {
+	if m == nil {
+		return nil
+	}
+	return &m.Imbalance
+}
+
+// Snapshot copies all histograms.
+func (m *Metrics) Snapshot() []HistSnapshot {
+	if m == nil {
+		return nil
+	}
+	return []HistSnapshot{
+		m.LETArrival.Snapshot(), m.LETWalk.Snapshot(), m.ListLen.Snapshot(),
+		m.QueueDepth.Snapshot(), m.Imbalance.Snapshot(),
+	}
+}
+
+// StepMetrics is one line of the per-step JSONL metrics stream: the overlap
+// and straggler summary of one force evaluation across all ranks.
+type StepMetrics struct {
+	Step            int     `json:"step"` // force-evaluation sequence number
+	Ranks           int     `json:"ranks"`
+	N               int     `json:"n"`
+	MeanStepMS      float64 `json:"mean_step_ms"`
+	MaxStepMS       float64 `json:"max_step_ms"`
+	ImbalancePct    float64 `json:"imbalance_pct"` // (max-mean)/mean * 100
+	Straggler       int     `json:"straggler_rank"`
+	NonHiddenCommMS float64 `json:"non_hidden_comm_ms"` // mean per rank
+	OverlapFrac     float64 `json:"overlap_frac"`
+	LETsRecv        int     `json:"lets_recv"`
+	LETsOverlapped  int     `json:"lets_overlapped"`
+	ArrivalsSeen    int     `json:"arrivals_seen"`
+	WorstArrivalMS  float64 `json:"worst_arrival_ms"` // max over ranks of last arrival minus walk end; negative = all hidden
+	WalkGflops      float64 `json:"walk_gflops"`
+	AppGflops       float64 `json:"app_gflops"`
+}
+
+// WriteMetricsJSONL writes the recorded per-step metrics, one JSON object per
+// line.
+func (r *Recorder) WriteMetricsJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, m := range r.Steps() {
+		if err := enc.Encode(m); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMetricsJSONL parses a per-step JSONL metrics stream.
+func ReadMetricsJSONL(r io.Reader) ([]StepMetrics, error) {
+	var out []StepMetrics
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var m StepMetrics
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			return nil, fmt.Errorf("obs: bad metrics line %d: %w", len(out)+1, err)
+		}
+		out = append(out, m)
+	}
+	return out, sc.Err()
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar registers the recorder under the expvar name "bonsai.obs":
+// the histogram snapshots plus the latest step metrics, served live on
+// /debug/vars by any process that mounts the expvar handler. Safe to call
+// more than once; only the first recorder is published per process (expvar
+// panics on duplicate names).
+func (r *Recorder) PublishExpvar() {
+	if r == nil {
+		return
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("bonsai.obs", expvar.Func(func() any {
+			steps := r.Steps()
+			v := struct {
+				Histograms []HistSnapshot `json:"histograms"`
+				Steps      int            `json:"steps"`
+				Last       *StepMetrics   `json:"last,omitempty"`
+			}{Histograms: r.Metrics().Snapshot(), Steps: len(steps)}
+			if len(steps) > 0 {
+				v.Last = &steps[len(steps)-1]
+			}
+			return v
+		}))
+	})
+}

@@ -20,6 +20,7 @@ import (
 
 	"bonsai/internal/grav"
 	"bonsai/internal/keys"
+	"bonsai/internal/obs"
 	"bonsai/internal/vec"
 )
 
@@ -380,6 +381,15 @@ func (t *Tree) collect(groupBox vec.Box, theta float64, stack *[]int32, out *Wal
 // Interaction counts are added to st if non-nil, merged with atomic adds.
 func (t *Tree) Walk(groups []Group, tpos []vec.V3, theta, eps2 float64,
 	acc []vec.V3, pot []float64, workers int, st *grav.Stats) {
+	t.WalkObs(groups, tpos, theta, eps2, acc, pot, workers, st, nil)
+}
+
+// WalkObs is Walk with an optional observability hook: when listLen is
+// non-nil, the interaction-list length (accepted cells + opened-leaf
+// particles) of every target group is recorded into it. A nil listLen is the
+// disabled state and costs one branch per group.
+func (t *Tree) WalkObs(groups []Group, tpos []vec.V3, theta, eps2 float64,
+	acc []vec.V3, pot []float64, workers int, st *grav.Stats, listLen *obs.Hist) {
 
 	if len(t.Cells) == 0 || len(groups) == 0 {
 		return
@@ -388,7 +398,7 @@ func (t *Tree) Walk(groups []Group, tpos []vec.V3, theta, eps2 float64,
 		var local grav.Stats
 		sc := scratchPool.Get().(*walkScratch)
 		for g := range groups {
-			t.walkGroup(&groups[g], tpos, theta, eps2, acc, pot, sc, &local)
+			t.walkGroup(&groups[g], tpos, theta, eps2, acc, pot, sc, &local, listLen)
 		}
 		scratchPool.Put(sc)
 		if st != nil {
@@ -410,7 +420,7 @@ func (t *Tree) Walk(groups []Group, tpos []vec.V3, theta, eps2 float64,
 				if g >= len(groups) {
 					break
 				}
-				t.walkGroup(&groups[g], tpos, theta, eps2, acc, pot, sc, &local)
+				t.walkGroup(&groups[g], tpos, theta, eps2, acc, pot, sc, &local, listLen)
 			}
 			scratchPool.Put(sc)
 			if st != nil {
@@ -426,7 +436,7 @@ func (t *Tree) Walk(groups []Group, tpos []vec.V3, theta, eps2 float64,
 // group writes a disjoint [Start, Start+N) range of acc/pot, so concurrent
 // workers never contend.
 func (t *Tree) walkGroup(g *Group, tpos []vec.V3, theta, eps2 float64,
-	acc []vec.V3, pot []float64, sc *walkScratch, st *grav.Stats) {
+	acc []vec.V3, pot []float64, sc *walkScratch, st *grav.Stats, listLen *obs.Hist) {
 
 	if sc.stack == nil {
 		sc.stack = make([]int32, 0, 128)
@@ -448,6 +458,7 @@ func (t *Tree) walkGroup(g *Group, tpos []vec.V3, theta, eps2 float64,
 	}
 	lo, hi := g.Start, g.Start+g.N
 	sc.tg.Gather(tpos[lo:hi])
+	listLen.Observe(int64(sc.pc.Len() + sc.pp.Len()))
 
 	grav.PCBatch(sc.tg.X, sc.tg.Y, sc.tg.Z, &sc.pc, eps2, sc.tg.AX, sc.tg.AY, sc.tg.AZ, sc.tg.Pot)
 	grav.PPBatch(sc.tg.X, sc.tg.Y, sc.tg.Z, &sc.pp, eps2, sc.tg.AX, sc.tg.AY, sc.tg.AZ, sc.tg.Pot)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"bonsai/internal/keys"
 	"bonsai/internal/lettree"
 	"bonsai/internal/mpi"
+	"bonsai/internal/obs"
 	"bonsai/internal/octree"
 	"bonsai/internal/psort"
 	"bonsai/internal/vec"
@@ -46,6 +48,16 @@ type rank struct {
 	sortBuf []psort.KV
 	spare   []body.Particle
 
+	// Observability (all nil when tracing is disabled): the rank's span
+	// buffer, the shared histogram set, the current evaluation sequence
+	// number, and the evaluation-scoped LET arrival timestamps (obs-epoch
+	// ns; written by the receiver goroutine, read by the compute thread
+	// after the arrival channel drains).
+	obs       *obs.RankRec
+	met       *obs.Metrics
+	eval      int
+	arrivalNS []int64
+
 	// step-scoped
 	stats RankStats
 }
@@ -59,9 +71,12 @@ const (
 // domainUpdate selects whether this evaluation re-decomposes and exchanges
 // particles; the caller (the Simulation) owns the domain-epoch schedule so
 // that the t=0 priming evaluation and the first post-drift evaluation do not
-// both pay for a decomposition in the same step.
-func (r *rank) stepForces(step int, domainUpdate bool) {
+// both pay for a decomposition in the same step. eval is the global force-
+// evaluation sequence number, used only to tag trace spans (a step can run
+// two evaluations when it primes t=0 accelerations).
+func (r *rank) stepForces(step, eval int, domainUpdate bool) {
 	r.stats = RankStats{}
+	r.eval = eval
 	t0 := time.Now()
 
 	// --- Global bounding box and key grid.
@@ -92,22 +107,26 @@ func (r *rank) stepForces(step int, domainUpdate bool) {
 		r.parts = domain.Exchange(r.comm, r.dec, r.parts, r.grid)
 	}
 	r.stats.Times.Domain = time.Since(tD)
+	r.obs.Span(eval, obs.PhaseDomain, obs.LaneCompute, 0, tD, tD.Add(r.stats.Times.Domain), 0)
 
 	// --- Morton sort into tree order.
 	tS := time.Now()
 	r.sortLocal()
 	r.stats.Times.Sort = time.Since(tS)
+	r.obs.Span(eval, obs.PhaseSort, obs.LaneCompute, 0, tS, tS.Add(r.stats.Times.Sort), 0)
 
 	// --- Tree construction.
 	tT := time.Now()
 	r.tree = octree.BuildStructure(r.mk, r.pos, r.mass, r.grid, r.cfg.NLeaf)
 	r.stats.Times.TreeBuild = time.Since(tT)
+	r.obs.Span(eval, obs.PhaseTreeBuild, obs.LaneCompute, 0, tT, tT.Add(r.stats.Times.TreeBuild), 0)
 
 	// --- Tree properties (multipoles).
 	tP := time.Now()
 	r.tree.ComputeProperties()
 	r.groups = r.tree.MakeGroups(r.cfg.NGroup)
 	r.stats.Times.TreeProps = time.Since(tP)
+	r.obs.Span(eval, obs.PhaseTreeProps, obs.LaneCompute, 0, tP, tP.Add(r.stats.Times.TreeProps), 0)
 
 	// --- Gravity: local tree walk overlapped with the LET exchange.
 	// The local box is recomputed after the exchange: sufficiency checks and
@@ -116,6 +135,7 @@ func (r *rank) stepForces(step int, domainUpdate bool) {
 	r.gravity(step, body.Bounds(r.parts))
 
 	r.stats.Times.Total = time.Since(t0)
+	r.stats.Times.DeriveOther()
 	r.stats.NLocal = len(r.parts)
 
 	// Per-particle work weights for the next decomposition: rank-level flop
@@ -178,6 +198,7 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 	boundaries := mpi.Allgather(r.comm, myBoundary, myBoundary.WireBytes())
 	r.stats.LETBytesSent += int64(myBoundary.WireBytes()) * int64(p-1)
 	boundaryTime := time.Since(tB)
+	r.obs.Span(r.eval, obs.PhaseBoundary, obs.LaneCompute, 0, tB, tB.Add(boundaryTime), 0)
 
 	// --- Decide, for every remote pair, whether boundary trees suffice.
 	// Both sides of each pair evaluate the same predicate on the same
@@ -210,17 +231,28 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 	// built and pushed on the compute thread ahead of the local walk, and
 	// that time is exactly the communication cost the pipeline would hide.
 	sentBytes := make([]int64, len(sendTo))
-	buildLET := func(k int) {
+	buildLET := func(k, worker int) {
 		j := sendTo[k]
+		var tb time.Time
+		if r.obs != nil {
+			tb = time.Now()
+		}
 		let := lettree.BuildFor(r.tree, boundaries[j].Box, theta, localBox)
 		r.comm.Send(j, tag, let, let.WireBytes())
 		sentBytes[k] = int64(let.WireBytes())
+		if r.obs != nil {
+			lane := obs.LaneBuilder
+			if r.cfg.SerialLET {
+				lane = obs.LaneCompute
+			}
+			r.obs.Span(r.eval, obs.PhaseLETBuild, lane, worker, tb, time.Now(), int64(j))
+		}
 	}
 	done := make(chan struct{})
 	if r.cfg.SerialLET {
 		tS := time.Now()
 		for k := range sendTo {
-			buildLET(k)
+			buildLET(k, 0)
 		}
 		waitTime += time.Since(tS)
 		close(done)
@@ -235,12 +267,12 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 			var wg sync.WaitGroup
 			for w := 0; w < builders; w++ {
 				wg.Add(1)
-				go func() {
+				go func(w int) {
 					defer wg.Done()
 					for k := range jobs {
-						buildLET(k)
+						buildLET(k, w)
 					}
-				}()
+				}(w)
 			}
 			for k := range sendTo {
 				jobs <- k
@@ -250,44 +282,96 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 		}()
 	}
 
-	walkRemote := func(l *lettree.LET, from string) {
+	walkRemote := func(l *lettree.LET, src int, ph obs.Phase, from string) {
 		tW := time.Now()
-		forced := lettree.Walk(l, r.groups, r.pos, theta, eps2,
-			r.acc, r.pot, r.cfg.WorkersPerRank, &r.stats.Grav)
-		letWalk += time.Since(tW)
+		forced := lettree.WalkObs(l, r.groups, r.pos, theta, eps2,
+			r.acc, r.pot, r.cfg.WorkersPerRank, &r.stats.Grav, r.met.ListLenHist())
+		d := time.Since(tW)
+		letWalk += d
+		if r.obs != nil {
+			r.obs.Span(r.eval, ph, obs.LaneCompute, 0, tW, tW.Add(d), int64(src))
+			if ph == obs.PhaseWalkLET {
+				r.met.LETWalkHist().ObserveDuration(d)
+			}
+		}
 		if forced != 0 {
 			panic(fmt.Sprintf("sim: rank %d: %s forced %d accepts", me, from, forced))
 		}
+	}
+
+	// recordArrival notes a full LET's arrival for the hidden-vs-straggler
+	// analysis: a trace instant plus the epoch timestamp the offsets are
+	// computed from once the local walk's completion time is known. Called
+	// by whichever goroutine performed the receive, always before the LET
+	// is handed to the compute side.
+	recordArrival := func(at time.Time, from int, lane obs.Lane) {
+		r.obs.Mark(r.eval, obs.PhaseArrive, lane, at, int64(from))
+		r.arrivalNS = append(r.arrivalNS, r.obs.Since(at))
+	}
+
+	// walkEndNS is the obs-epoch timestamp of local-walk completion; LET
+	// arrival offsets (the Fig. 5 hidden-vs-straggler signal) are measured
+	// against it at the end of the phase.
+	var walkEndNS int64
+	markWalkDone := func() {
+		if r.obs == nil {
+			return
+		}
+		now := time.Now()
+		r.obs.Mark(r.eval, obs.PhaseWalkDone, obs.LaneCompute, now, 0)
+		walkEndNS = r.obs.Since(now)
 	}
 
 	if r.cfg.SerialLET {
 		// Baseline ordering: full local walk, then boundary trees, then
 		// blocking receives in arrival order.
 		tL := time.Now()
-		r.tree.Walk(r.groups, r.pos, theta, eps2, r.acc, r.pot, r.cfg.WorkersPerRank, &r.stats.Grav)
+		r.tree.WalkObs(r.groups, r.pos, theta, eps2, r.acc, r.pot,
+			r.cfg.WorkersPerRank, &r.stats.Grav, r.met.ListLenHist())
 		localWalk = time.Since(tL)
+		r.obs.Span(r.eval, obs.PhaseWalkLocal, obs.LaneCompute, 0, tL, tL.Add(localWalk), int64(len(r.groups)))
+		markWalkDone()
 		for _, j := range useBoundary {
-			walkRemote(boundaries[j], fmt.Sprintf("boundary of %d judged sufficient but", j))
+			walkRemote(boundaries[j], j, obs.PhaseWalkBound, fmt.Sprintf("boundary of %d judged sufficient but", j))
 			r.stats.BoundaryUsed++
 		}
 		for k := 0; k < expectFrom; k++ {
 			tR := time.Now()
-			_, msg := r.comm.RecvAny(tag)
-			waitTime += time.Since(tR)
-			walkRemote(msg.(*lettree.LET), "received LET")
+			from, msg := r.comm.RecvAny(tag)
+			d := time.Since(tR)
+			waitTime += d
+			if r.obs != nil {
+				r.obs.Span(r.eval, obs.PhaseWaitLET, obs.LaneCompute, 0, tR, tR.Add(d), int64(from))
+				recordArrival(tR.Add(d), from, obs.LaneCompute)
+			}
+			walkRemote(msg.(*lettree.LET), from, obs.PhaseWalkLET, "received LET")
 			r.stats.LETsRecv++
 		}
 	} else {
 		// Receiver goroutine: drain the mailbox as messages arrive so a LET
-		// is ready for the compute side the moment the sender pushes it.
-		arrivals := make(chan *lettree.LET, expectFrom)
+		// is ready for the compute side the moment the sender pushes it. The
+		// payload carries the source rank so the compute-side walk span can
+		// name it.
+		type letArrival struct {
+			let  *lettree.LET
+			from int
+		}
+		arrivals := make(chan letArrival, expectFrom)
 		if expectFrom > 0 {
 			go func() {
 				for k := 0; k < expectFrom; k++ {
 					tR := time.Now()
-					_, msg := r.comm.RecvAny(tag)
+					from, msg := r.comm.RecvAny(tag)
 					recvIdle.Add(int64(time.Since(tR)))
-					arrivals <- msg.(*lettree.LET)
+					if r.obs != nil {
+						now := time.Now()
+						r.obs.Span(r.eval, obs.PhaseRecvWait, obs.LaneReceiver, 0, tR, now, int64(from))
+						// The append happens-before the channel send below,
+						// and the compute thread reads arrivalNS only after
+						// consuming all expectFrom sends: no race.
+						recordArrival(now, from, obs.LaneReceiver)
+					}
+					arrivals <- letArrival{msg.(*lettree.LET), from}
 				}
 				close(arrivals)
 			}()
@@ -307,8 +391,8 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 		for len(pending) > 0 {
 			if recvLeft > 0 {
 				select {
-				case let := <-arrivals:
-					walkRemote(let, "received LET")
+				case a := <-arrivals:
+					walkRemote(a.let, a.from, obs.PhaseWalkLET, "received LET")
 					recvLeft--
 					r.stats.LETsRecv++
 					r.stats.LETsOverlapped++
@@ -321,21 +405,27 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 				n = len(pending)
 			}
 			tL := time.Now()
-			r.tree.Walk(pending[:n], r.pos, theta, eps2, r.acc, r.pot, r.cfg.WorkersPerRank, &r.stats.Grav)
-			localWalk += time.Since(tL)
+			r.tree.WalkObs(pending[:n], r.pos, theta, eps2, r.acc, r.pot,
+				r.cfg.WorkersPerRank, &r.stats.Grav, r.met.ListLenHist())
+			d := time.Since(tL)
+			localWalk += d
+			r.obs.Span(r.eval, obs.PhaseWalkLocal, obs.LaneCompute, 0, tL, tL.Add(d), int64(n))
 			pending = pending[n:]
 		}
+		markWalkDone()
 		// Local walk done: boundary trees are local data, walk them while
 		// straggler LETs are still in flight.
 		for _, j := range useBoundary {
-			walkRemote(boundaries[j], fmt.Sprintf("boundary of %d judged sufficient but", j))
+			walkRemote(boundaries[j], j, obs.PhaseWalkBound, fmt.Sprintf("boundary of %d judged sufficient but", j))
 			r.stats.BoundaryUsed++
 		}
 		for recvLeft > 0 {
 			tR := time.Now()
-			let := <-arrivals
-			waitTime += time.Since(tR)
-			walkRemote(let, "received LET")
+			a := <-arrivals
+			d := time.Since(tR)
+			waitTime += d
+			r.obs.Span(r.eval, obs.PhaseWaitLET, obs.LaneCompute, 0, tR, tR.Add(d), int64(a.from))
+			walkRemote(a.let, a.from, obs.PhaseWalkLET, "received LET")
 			recvLeft--
 			r.stats.LETsRecv++
 		}
@@ -344,7 +434,9 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 	// Wait for our own sends to finish building (they overlap the walks).
 	tWd := time.Now()
 	<-done
-	waitTime += time.Since(tWd)
+	dWd := time.Since(tWd)
+	waitTime += dWd
+	r.obs.Span(r.eval, obs.PhaseWaitLET, obs.LaneCompute, 0, tWd, tWd.Add(dWd), -1)
 	r.stats.LETsSent += len(sendTo)
 	for _, b := range sentBytes {
 		r.stats.LETBytesSent += b
@@ -380,6 +472,27 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 		}
 	} else {
 		r.extPot = r.extPot[:0]
+	}
+
+	// Fold the evaluation's LET arrivals into the arrival-offset histogram:
+	// arrival time minus local-walk completion, negative when communication
+	// was fully hidden behind the walk, positive when the compute side had to
+	// wait (a straggler sender). All receiver-goroutine appends to arrivalNS
+	// happened-before the channel receives the loops above completed.
+	if r.obs != nil {
+		worst := int64(math.MinInt64)
+		for _, a := range r.arrivalNS {
+			off := a - walkEndNS
+			r.met.LETArrivalHist().Observe(off)
+			if off > worst {
+				worst = off
+			}
+		}
+		if n := len(r.arrivalNS); n > 0 {
+			r.stats.WorstArrival = time.Duration(worst)
+			r.stats.ArrivalsSeen = n
+		}
+		r.arrivalNS = r.arrivalNS[:0]
 	}
 
 	r.stats.Times.GravLocal = localWalk

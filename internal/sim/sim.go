@@ -26,10 +26,12 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"bonsai/internal/body"
 	"bonsai/internal/domain"
 	"bonsai/internal/mpi"
+	"bonsai/internal/obs"
 	"bonsai/internal/vec"
 )
 
@@ -71,6 +73,17 @@ type Config struct {
 	// it completes. Kept as the measurable non-overlapped baseline for
 	// BenchmarkOverlap.
 	SerialLET bool
+
+	// Obs, if non-nil, enables event-level tracing and metrics: every rank
+	// records phase spans and gravity-pipeline events (LET build/send/
+	// recv/walk, arrivals vs local-walk completion) into the recorder's
+	// preallocated per-rank buffers, the MPI layer meters queue depth and
+	// per-pair bytes, and a per-evaluation metrics record is appended after
+	// every force computation. The recorder must have been created for
+	// exactly Ranks ranks. nil (the default) disables all of it at the
+	// cost of a single branch per record point; results are unaffected
+	// either way.
+	Obs *obs.Recorder
 }
 
 // letBuilders returns the LET-builder pool size for dests destination ranks.
@@ -131,6 +144,7 @@ type Simulation struct {
 	world *mpi.World
 	ranks []*rank
 	step  int
+	evals int // completed force evaluations (tracing sequence number)
 	time  float64
 	first bool
 }
@@ -152,10 +166,17 @@ func New(cfg Config, parts []body.Particle) (*Simulation, error) {
 			return nil, fmt.Errorf("sim: particle %d (id %d) has non-finite or negative state", i, parts[i].ID)
 		}
 	}
+	if cfg.Obs != nil && cfg.Obs.Ranks() != cfg.Ranks {
+		return nil, fmt.Errorf("sim: obs recorder built for %d ranks, simulation has %d",
+			cfg.Obs.Ranks(), cfg.Ranks)
+	}
 	s := &Simulation{
 		cfg:   cfg,
 		world: mpi.NewWorld(cfg.Ranks),
 		first: true,
+	}
+	if cfg.Obs != nil {
+		s.world.EnableObs(cfg.Obs.Metrics().QueueDepthHist())
 	}
 	for r := 0; r < cfg.Ranks; r++ {
 		lo := r * len(parts) / cfg.Ranks
@@ -167,10 +188,15 @@ func New(cfg Config, parts []body.Particle) (*Simulation, error) {
 			comm:  s.world.Comm(r),
 			parts: local,
 			dec:   domain.Uniform(cfg.Ranks),
+			obs:   cfg.Obs.Rank(r),
+			met:   cfg.Obs.Metrics(),
 		})
 	}
 	return s, nil
 }
+
+// Obs returns the tracing recorder, or nil when tracing is disabled.
+func (s *Simulation) Obs() *obs.Recorder { return s.cfg.Obs }
 
 // Config returns the effective (default-filled) configuration.
 func (s *Simulation) Config() Config { return s.cfg }
@@ -201,12 +227,68 @@ func (s *Simulation) parallel(fn func(r *rank)) {
 // selects whether this evaluation re-decomposes and exchanges particles; all
 // ranks must see the same value (the decomposition is collective).
 func (s *Simulation) forces(domainUpdate bool) []RankStats {
-	s.parallel(func(r *rank) { r.stepForces(s.step, domainUpdate) })
+	eval := s.evals
+	s.evals++
+	s.parallel(func(r *rank) { r.stepForces(s.step, eval, domainUpdate) })
 	stats := make([]RankStats, len(s.ranks))
 	for i, r := range s.ranks {
 		stats[i] = r.stats
 	}
+	s.recordStepMetrics(eval, stats)
 	return stats
+}
+
+// recordStepMetrics appends one per-evaluation record to the tracing
+// recorder's metrics stream and feeds the imbalance histogram. No-op when
+// tracing is disabled.
+func (s *Simulation) recordStepMetrics(eval int, rs []RankStats) {
+	rec := s.cfg.Obs
+	if rec == nil {
+		return
+	}
+	agg := aggregate(eval, rs)
+	straggler := 0
+	var maxTotal time.Duration
+	arrivals := 0
+	worst := time.Duration(math.MinInt64)
+	for i := range rs {
+		if rs[i].Times.Total > maxTotal {
+			maxTotal = rs[i].Times.Total
+			straggler = i
+		}
+		if rs[i].ArrivalsSeen > 0 {
+			arrivals += rs[i].ArrivalsSeen
+			if rs[i].WorstArrival > worst {
+				worst = rs[i].WorstArrival
+			}
+		}
+	}
+	worstMS := 0.0
+	if arrivals > 0 {
+		worstMS = float64(worst) / 1e6
+	}
+	imbPct := 0.0
+	if agg.Times.Total > 0 {
+		imbPct = (float64(agg.MaxTimes.Total)/float64(agg.Times.Total) - 1) * 100
+	}
+	rec.Metrics().ImbalanceHist().Observe(int64(agg.MaxTimes.Total - agg.Times.Total))
+	rec.AddStep(obs.StepMetrics{
+		Step:            eval,
+		Ranks:           agg.Ranks,
+		N:               agg.N,
+		MeanStepMS:      agg.Times.Total.Seconds() * 1e3,
+		MaxStepMS:       agg.MaxTimes.Total.Seconds() * 1e3,
+		ImbalancePct:    imbPct,
+		Straggler:       straggler,
+		NonHiddenCommMS: agg.Times.NonHiddenComm.Seconds() * 1e3,
+		OverlapFrac:     agg.OverlapFrac,
+		LETsRecv:        agg.LETsRecv,
+		LETsOverlapped:  agg.LETsOverlapped,
+		ArrivalsSeen:    arrivals,
+		WorstArrivalMS:  worstMS,
+		WalkGflops:      agg.WalkGflops,
+		AppGflops:       agg.AppGflops,
+	})
 }
 
 // domainDue reports whether the current step is a domain-update epoch.
@@ -226,21 +308,27 @@ func (s *Simulation) Step() StepStats {
 	// Kick half + drift full (uses accelerations from the previous force
 	// evaluation, which are aligned with each rank's current particle order).
 	s.parallel(func(r *rank) {
+		t0 := time.Now()
 		for i := range r.parts {
 			r.parts[i].Vel = r.parts[i].Vel.Add(r.acc[i].Scale(dt / 2))
 			r.parts[i].Pos = r.parts[i].Pos.Add(r.parts[i].Vel.Scale(dt))
 		}
+		r.obs.Span(s.evals, obs.PhaseIntegrate, obs.LaneCompute, 0, t0, time.Now(), 0)
 	})
 	// New forces at t+dt. If the t=0 priming evaluation just ran the
 	// domain update, positions have only drifted within the same step, so
 	// the decomposition is still fresh: skip the second update (the seed
 	// code re-decomposed and re-exchanged every particle twice at step 0).
 	rs := s.forces(s.domainDue() && !primed)
-	// Kick half.
+	// Kick half. The span is tagged with the evaluation whose accelerations
+	// it applies (the one that just ran), so traces never mint an evaluation
+	// ID that has no force phase.
 	s.parallel(func(r *rank) {
+		t0 := time.Now()
 		for i := range r.parts {
 			r.parts[i].Vel = r.parts[i].Vel.Add(r.acc[i].Scale(dt / 2))
 		}
+		r.obs.Span(s.evals-1, obs.PhaseIntegrate, obs.LaneCompute, 0, t0, time.Now(), 1)
 	})
 	s.step++
 	s.time += dt

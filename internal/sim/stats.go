@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"time"
 
 	"bonsai/internal/grav"
@@ -33,6 +34,23 @@ func (p *PhaseTimes) Add(q PhaseTimes) {
 	p.Total += q.Total
 }
 
+// Accounted returns the sum of the explicitly timed phases — every row
+// except Other and Total.
+func (p PhaseTimes) Accounted() time.Duration {
+	return p.Sort + p.Domain + p.TreeBuild + p.TreeProps +
+		p.GravLocal + p.GravLET + p.NonHiddenComm
+}
+
+// DeriveOther sets Other to Total minus the accounted phases, clamped at
+// zero, so the Table II rows sum to Total. This is the single place Other is
+// derived; every pipeline path calls it after stamping Total.
+func (p *PhaseTimes) DeriveOther() {
+	p.Other = p.Total - p.Accounted()
+	if p.Other < 0 {
+		p.Other = 0
+	}
+}
+
 // Scale divides all phases by n (for averaging).
 func (p PhaseTimes) Scale(n int) PhaseTimes {
 	if n <= 0 {
@@ -61,12 +79,30 @@ type RankStats struct {
 	// Overlap-efficiency counters for the pipelined gravity phase.
 	LETsOverlapped int           // LETs walked before the local walk finished
 	RecvIdle       time.Duration // receiver-goroutine time blocked on arrivals
+
+	// Event-level diagnostics, populated only when tracing is enabled
+	// (Config.Obs != nil): the worst full-LET arrival time relative to this
+	// rank's local-walk completion (negative = fully hidden), and how many
+	// arrivals it was measured over.
+	WorstArrival time.Duration
+	ArrivalsSeen int
 }
 
 // WalkGflops returns this rank's effective gravity-walk rate in Gflop/s
 // (interactions evaluated over local + LET walk wall-clock, §VI.A counting).
+// A rank with zero walk time — an empty domain, or a clock too coarse to
+// resolve a tiny walk — reports 0 rather than ±Inf/NaN, so it can never
+// poison a step aggregate.
 func (r RankStats) WalkGflops() float64 {
-	return r.Grav.Gflops(r.Times.GravLocal + r.Times.GravLET)
+	return finiteRate(r.Grav.Gflops(r.Times.GravLocal + r.Times.GravLET))
+}
+
+// finiteRate clamps non-finite rates (0/0 or x/0 artifacts) to zero.
+func finiteRate(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 // StepStats aggregates a step over all ranks.
@@ -141,8 +177,8 @@ func aggregate(step int, rs []RankStats) StepStats {
 	// concurrently, so the aggregate walk rate is the total flop count over
 	// the average per-rank busy time; the application rate divides by the
 	// slowest rank's full step (the paper's own headline metric).
-	out.WalkGflops = out.Grav.Gflops(out.Times.GravLocal + out.Times.GravLET)
-	out.AppGflops = out.Grav.Gflops(out.MaxTimes.Total)
+	out.WalkGflops = finiteRate(out.Grav.Gflops(out.Times.GravLocal + out.Times.GravLET))
+	out.AppGflops = finiteRate(out.Grav.Gflops(out.MaxTimes.Total))
 	return out
 }
 
