@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: tier1 vet build test race bench bench-overlap trace-smoke
+.PHONY: tier1 vet build test race bench bench-compare bench-overlap trace-smoke
 
 # tier1 is the pre-merge gate: static checks, full build and test suite,
 # plus the race-detector subset covering the concurrent gravity pipeline
@@ -18,15 +18,27 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/sim ./internal/mpi ./internal/psort ./internal/obs
+	$(GO) test -race -count=1 ./internal/sim ./internal/mpi ./internal/psort ./internal/obs ./internal/octree ./internal/par
 
-# Force-kernel microbenchmarks (batched SoA vs scalar per-pair, ns/inter)
-# plus the full 100k-particle tree-walk, recorded as a JSON baseline so the
-# perf trajectory of successive PRs is measurable (BENCH_<date>.json).
+# Force-kernel microbenchmarks (batched SoA vs scalar per-pair, ns/inter),
+# the full 100k-particle tree-walk, and the tree-pipeline phases (build /
+# properties / groups, serial vs 8 workers), recorded as a JSON baseline so
+# the perf trajectory of successive PRs is measurable (BENCH_<date>.json).
 bench:
 	@{ $(GO) test -run XXX -bench 'BenchmarkKernels' -benchtime 300x . ; \
-	   $(GO) test -run XXX -bench 'BenchmarkWalk100k' -benchtime 2x ./internal/octree ; } \
+	   $(GO) test -run XXX -bench 'BenchmarkWalk100k' -benchtime 2x ./internal/octree ; \
+	   $(GO) test -run XXX -bench 'BenchmarkTreePipeline' -benchtime 2x ./internal/octree ; } \
 	  | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
+
+# bench-compare guards against perf regressions: rerun the benchmarks into a
+# scratch baseline and diff it against the most recent committed
+# BENCH_<date>.json (>25% ns/op regressions fail). git ls-files keeps a
+# freshly written same-day baseline from being compared against itself.
+bench-compare:
+	@old=$$(git ls-files 'BENCH_*.json' | sort | tail -1) && \
+	test -n "$$old" || { echo "bench-compare: no committed BENCH_*.json baseline"; exit 1; } && \
+	$(MAKE) bench BENCH_JSON=bench-new.json && \
+	$(GO) run ./cmd/benchjson -compare "$$old" bench-new.json
 
 # Serial vs pipelined gravity phase; nonhidden_ms should drop and
 # overlap_% rise in the Pipelined variants.

@@ -7,6 +7,15 @@
 // The raw benchmark lines are echoed to stdout unchanged; the JSON document
 // carries one entry per benchmark with every reported metric (ns/op plus any
 // b.ReportMetric extras such as ns/inter or modelGflops).
+//
+// Compare mode checks a fresh baseline against a committed one:
+//
+//	go run ./cmd/benchjson -compare BENCH_old.json bench-new.json
+//
+// It prints the ns/op delta for every benchmark present in both files and
+// exits non-zero if any regressed by more than -threshold percent (default
+// 25). Benchmarks that exist in only one file are listed but never fail the
+// run (they are additions or removals, not regressions).
 package main
 
 import (
@@ -41,8 +50,19 @@ type Baseline struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
-	out := flag.String("out", "", "output JSON path (required)")
+	out := flag.String("out", "", "output JSON path (required unless -compare)")
+	compare := flag.Bool("compare", false, "compare two baseline files: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 25, "with -compare, fail on ns/op regressions above this percent")
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("-compare needs exactly two arguments: old.json new.json")
+		}
+		if err := compareBaselines(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *out == "" {
 		log.Fatal("-out is required")
 	}
@@ -77,6 +97,71 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %d benchmarks to %s", len(doc.Benchmarks), *out)
+}
+
+// compareBaselines reports per-benchmark ns/op deltas between two baseline
+// files and returns an error when any shared benchmark regressed by more than
+// threshold percent.
+func compareBaselines(oldPath, newPath string, threshold float64) error {
+	oldDoc, err := readBaseline(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := readBaseline(newPath)
+	if err != nil {
+		return err
+	}
+	oldNs := map[string]float64{}
+	for _, r := range oldDoc.Benchmarks {
+		if v, ok := r.Metrics["ns/op"]; ok {
+			oldNs[r.Name] = v
+		}
+	}
+	fmt.Printf("comparing %s (old) vs %s (new), threshold %.0f%%\n", oldPath, newPath, threshold)
+	var regressions []string
+	seen := map[string]bool{}
+	for _, r := range newDoc.Benchmarks {
+		nv, ok := r.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		ov, shared := oldNs[r.Name]
+		if !shared {
+			fmt.Printf("  %-60s %12.0f ns/op  (new benchmark)\n", r.Name, nv)
+			continue
+		}
+		seen[r.Name] = true
+		pct := 100 * (nv - ov) / ov
+		mark := ""
+		if pct > threshold {
+			mark = "  REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)", r.Name, ov, nv, pct))
+		}
+		fmt.Printf("  %-60s %12.0f -> %12.0f ns/op  %+7.1f%%%s\n", r.Name, ov, nv, pct, mark)
+	}
+	for _, r := range oldDoc.Benchmarks {
+		if _, ok := r.Metrics["ns/op"]; ok && !seen[r.Name] {
+			fmt.Printf("  %-60s (removed; was %.0f ns/op)\n", r.Name, r.Metrics["ns/op"])
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%:\n  %s",
+			len(regressions), threshold, strings.Join(regressions, "\n  "))
+	}
+	fmt.Println("no regressions beyond threshold")
+	return nil
+}
+
+func readBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Baseline
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
 }
 
 // parseBenchLine parses "BenchmarkName-8  100  123 ns/op  4.5 ns/inter ...".

@@ -135,11 +135,21 @@ func BoundaryTree(t *octree.Tree, depth int, localBox vec.Box) *LET {
 // whose particles lie inside remoteBox: every local cell that the MAC might
 // require the remote to open is expanded, every distant cell is emitted as a
 // closed multipole, and opened leaves contribute their particles.
+//
+// BuildFor only depends on the parent→child structure of the source tree,
+// never on cell indices, so it is oblivious to whether the tree came from
+// the serial or the parallel (subtree-stitched) constructor — which is also
+// why builder goroutines can run against the shared tree concurrently with
+// the walks. Cell storage is preallocated from the source tree size: LETs
+// for nearby domains approach the full tree, distant ones stay tiny, and a
+// quarter-size initial capacity avoids the repeated append regrowth that
+// dominated construction for near neighbours.
 func BuildFor(t *octree.Tree, remoteBox vec.Box, theta float64, localBox vec.Box) *LET {
 	out := &LET{Box: localBox}
 	if t.Root() == octree.NilCell {
 		return out
 	}
+	out.Cells = make([]Cell, 0, len(t.Cells)/4+8)
 	var rec func(src int32) int32
 	rec = func(src int32) int32 {
 		sc := &t.Cells[src]

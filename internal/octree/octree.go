@@ -58,6 +58,15 @@ type Tree struct {
 	Mass  []float64
 	Grid  keys.Grid
 	NLeaf int
+
+	// Partition of Cells recorded by the parallel constructor (nil after a
+	// serial build): the final indices of the serially built top cells in
+	// depth-first order, and the contiguous spans of the concurrently built
+	// subtrees. ComputePropertiesParallel sweeps the spans concurrently and
+	// finishes the top cells serially; every child of a top cell is either a
+	// later top cell or a subtree root, so the order is always safe.
+	topCells []int32
+	subSpans []cellSpan
 }
 
 // Build constructs an octree (structure and multipole properties) over
@@ -98,32 +107,52 @@ func BuildStructure(ks []keys.Key, pos []vec.V3, mass []float64, grid keys.Grid,
 // ComputeProperties fills in multipole moments bottom-up. Children are
 // always appended after their parent during the depth-first build, so a
 // reverse index sweep visits every child before its parent.
+// ComputePropertiesParallel is the multicore variant for trees built by the
+// parallel constructor; both produce bitwise-identical moments.
 func (t *Tree) ComputeProperties() {
 	for i := len(t.Cells) - 1; i >= 0; i-- {
-		if t.Cells[i].Leaf {
-			t.leafMoments(int32(i))
-		} else {
-			t.innerMoments(int32(i))
-		}
-		c := &t.Cells[i]
-		c.Delta = c.MP.COM.Sub(c.Box.Center()).Norm()
+		t.momentsAt(int32(i))
 	}
+}
+
+// momentsAt computes one cell's multipole and MAC offset from its particles
+// (leaves) or already-finished children (inner cells). It is the unit of
+// work both property sweeps share, so serial and parallel sweeps are
+// bitwise identical by construction.
+func (t *Tree) momentsAt(i int32) {
+	if t.Cells[i].Leaf {
+		t.leafMoments(i)
+	} else {
+		t.innerMoments(i)
+	}
+	c := &t.Cells[i]
+	c.Delta = c.MP.COM.Sub(c.Box.Center()).Norm()
 }
 
 // build creates the cell covering sorted range [start, end) at the given
 // level and returns its index.
 func (t *Tree) build(level, start, end int32) int32 {
-	idx := int32(len(t.Cells))
-	t.Cells = append(t.Cells, Cell{
+	return t.buildInto(&t.Cells, level, start, end)
+}
+
+// buildInto is build targeting an arbitrary cell arena: the serial build
+// passes &t.Cells, the parallel build passes per-worker arenas whose cells
+// are later stitched into the final depth-first layout. Child indices are
+// relative to the arena (the stitch applies the offset fixup). Because both
+// paths run this exact code, a cell's payload is bitwise identical however
+// the tree was built.
+func (t *Tree) buildInto(cells *[]Cell, level, start, end int32) int32 {
+	idx := int32(len(*cells))
+	*cells = append(*cells, Cell{
 		Level:    level,
 		Start:    start,
 		N:        end - start,
 		Children: [8]int32{NilCell, NilCell, NilCell, NilCell, NilCell, NilCell, NilCell, NilCell},
 	})
-	t.cellGeometry(idx)
+	t.cellGeometry(&(*cells)[idx])
 
 	if end-start <= int32(t.NLeaf) || level >= keys.Bits {
-		t.Cells[idx].Leaf = true
+		(*cells)[idx].Leaf = true
 		return idx
 	}
 
@@ -138,8 +167,8 @@ func (t *Tree) build(level, start, end int32) int32 {
 		if lo == hi {
 			continue
 		}
-		child := t.build(level+1, lo, hi)
-		t.Cells[idx].Children[oct] = child
+		child := t.buildInto(cells, level+1, lo, hi)
+		(*cells)[idx].Children[oct] = child
 	}
 	return idx
 }
@@ -205,8 +234,7 @@ func (t *Tree) innerMoments(idx int32) {
 	c.MP = grav.Multipole{COM: com, M: m, Quad: q}
 }
 
-func (t *Tree) cellGeometry(idx int32) {
-	c := &t.Cells[idx]
+func (t *Tree) cellGeometry(c *Cell) {
 	x, y, z := t.Grid.Coords(t.Pos[c.Start])
 	c.Box = t.Grid.CellBox(x, y, z, int(c.Level))
 	c.Side = c.Box.Size().X
@@ -237,59 +265,28 @@ type Group struct {
 // particles by cutting the tree at cells with N <= ngroup. The groups cover
 // every particle exactly once and inherit tight bounding boxes from the
 // particles they contain. ngroup <= 0 selects DefaultNGroup.
+//
+// MakeGroups is the convenience form of MakeGroupsScratch: one worker, a
+// fresh result slice (preallocated from the expected N/ngroup count).
 func (t *Tree) MakeGroups(ngroup int) []Group {
-	if ngroup <= 0 {
-		ngroup = DefaultNGroup
-	}
-	var groups []Group
-	if len(t.Cells) == 0 {
-		return groups
-	}
-	var rec func(idx int32)
-	rec = func(idx int32) {
-		c := &t.Cells[idx]
-		if c.Leaf || int(c.N) <= ngroup {
-			groups = append(groups, t.makeGroup(c.Start, c.N))
-			return
-		}
-		for _, ch := range c.Children {
-			if ch != NilCell {
-				rec(ch)
-			}
-		}
-	}
-	rec(0)
-	return groups
+	return t.MakeGroupsScratch(ngroup, 1, nil)
 }
 
 // GroupsOf builds groups directly over an externally supplied ordered
 // position array by cutting it into fixed-size runs; used for targets that do
 // not have a tree of their own.
 func GroupsOf(pos []vec.V3, ngroup int) []Group {
-	if ngroup <= 0 {
-		ngroup = DefaultNGroup
-	}
-	var groups []Group
-	for start := 0; start < len(pos); start += ngroup {
-		n := ngroup
-		if start+n > len(pos) {
-			n = len(pos) - start
-		}
-		b := vec.EmptyBox()
-		for i := start; i < start+n; i++ {
-			b = b.Extend(pos[i])
-		}
-		groups = append(groups, Group{Start: int32(start), N: int32(n), Box: b})
-	}
-	return groups
+	return GroupsOfScratch(pos, ngroup, 1, nil)
 }
 
-func (t *Tree) makeGroup(start, n int32) Group {
+// boundsOf is the tight bounding box of a position run — the O(N) part of
+// group building, parallelized across groups by the scratch variants.
+func boundsOf(pos []vec.V3) vec.Box {
 	b := vec.EmptyBox()
-	for i := start; i < start+n; i++ {
-		b = b.Extend(t.Pos[i])
+	for _, p := range pos {
+		b = b.Extend(p)
 	}
-	return Group{Start: start, N: n, Box: b}
+	return b
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,164 @@
+package octree
+
+import (
+	"testing"
+
+	"bonsai/internal/keys"
+	"bonsai/internal/psort"
+	"bonsai/internal/vec"
+)
+
+// sortedCloud Morton-sorts a particle cloud, returning exactly the inputs the
+// sim layer hands to the tree builder.
+func sortedCloud(n int, seed int64, clustered bool) ([]keys.Key, []vec.V3, []float64, keys.Grid) {
+	var pos []vec.V3
+	var mass []float64
+	if clustered {
+		pos, mass = clusteredCloud(n, seed)
+	} else {
+		pos, mass = randomCloud(n, seed)
+	}
+	bb := vec.EmptyBox()
+	for _, p := range pos {
+		bb = bb.Extend(p)
+	}
+	grid := keys.NewGrid(bb)
+	kv := make([]psort.KV, n)
+	for i, p := range pos {
+		kv[i] = psort.KV{Key: uint64(grid.MortonOf(p)), Idx: int32(i)}
+	}
+	psort.Sort(kv, 1)
+	ks := make([]keys.Key, n)
+	sp := make([]vec.V3, n)
+	sm := make([]float64, n)
+	for i, e := range kv {
+		ks[i] = keys.Key(e.Key)
+		sp[i] = pos[e.Idx]
+		sm[i] = mass[e.Idx]
+	}
+	return ks, sp, sm, grid
+}
+
+// requireSameCells deep-compares two cell slices bitwise (Cell is comparable:
+// indices, geometry, multipoles and Delta all participate).
+func requireSameCells(t *testing.T, want, got []Cell, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: cell count %d != serial %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: cell %d differs:\nserial   %+v\nparallel %+v", label, i, want[i], got[i])
+		}
+	}
+}
+
+// TestParallelBuildBitwiseIdentical is the core tentpole guarantee: for any
+// worker count the parallel pipeline (build, properties, groups) produces a
+// byte-for-byte copy of the serial result — same cell layout, same child
+// indices, bitwise-equal multipoles and Deltas, identical groups.
+func TestParallelBuildBitwiseIdentical(t *testing.T) {
+	cases := []struct {
+		name      string
+		n         int
+		clustered bool
+	}{
+		{"random50k", 50_000, false},
+		{"clustered50k", 50_000, true},
+		{"belowCutoff", 5_000, false}, // falls back to the serial builder
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ks, pos, mass, grid := sortedCloud(tc.n, 42, tc.clustered)
+
+			ref := BuildStructure(ks, pos, mass, grid, 16)
+			ref.ComputeProperties()
+			refGroups := ref.MakeGroups(64)
+
+			for _, workers := range []int{2, 3, 8} {
+				var sc BuildScratch
+				tr := BuildStructureScratch(&sc, ks, pos, mass, grid, 16, workers)
+				tr.ComputePropertiesParallel(workers)
+				requireSameCells(t, ref.Cells, tr.Cells, tc.name)
+
+				groups := tr.MakeGroupsScratch(64, workers, nil)
+				if len(groups) != len(refGroups) {
+					t.Fatalf("w=%d: %d groups != serial %d", workers, len(groups), len(refGroups))
+				}
+				for g := range groups {
+					if groups[g] != refGroups[g] {
+						t.Fatalf("w=%d: group %d differs: %+v vs %+v", workers, g, groups[g], refGroups[g])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBuildScratchReuseAcrossInputs rebuilds through one BuildScratch with
+// inputs of different sizes and shapes; every build must match a fresh serial
+// build (stale spans, arenas or skeleton state would corrupt the layout).
+func TestBuildScratchReuseAcrossInputs(t *testing.T) {
+	var sc BuildScratch
+	for i, tc := range []struct {
+		n         int
+		clustered bool
+	}{
+		{60_000, false}, {20_000, true}, {40_000, false}, {3_000, false}, {50_000, true},
+	} {
+		ks, pos, mass, grid := sortedCloud(tc.n, int64(100+i), tc.clustered)
+		ref := BuildStructure(ks, pos, mass, grid, 16)
+		ref.ComputeProperties()
+
+		tr := BuildStructureScratch(&sc, ks, pos, mass, grid, 16, 4)
+		tr.ComputePropertiesParallel(4)
+		requireSameCells(t, ref.Cells, tr.Cells, "reuse")
+	}
+}
+
+// TestGroupsOfScratchMatchesGroupsOf checks the fixed-run variant incl. slice
+// reuse across calls of different lengths.
+func TestGroupsOfScratchMatchesGroupsOf(t *testing.T) {
+	var dst []Group
+	for _, n := range []int{10, 1000, 33_000} {
+		pos, _ := randomCloud(n, 7)
+		want := GroupsOf(pos, 64)
+		dst = GroupsOfScratch(pos, 64, 4, dst)
+		if len(want) != len(dst) {
+			t.Fatalf("n=%d: %d groups != %d", n, len(dst), len(want))
+		}
+		for g := range want {
+			if want[g] != dst[g] {
+				t.Fatalf("n=%d: group %d differs", n, g)
+			}
+		}
+	}
+}
+
+// TestTreePipelineAllocFree: with warm scratch, the serial (workers=1) tree
+// pipeline — build, properties, groups — performs zero allocations per step,
+// and the parallel pipeline's allocations are a small constant (goroutine
+// bookkeeping), not O(N).
+func TestTreePipelineAllocFree(t *testing.T) {
+	ks, pos, mass, grid := sortedCloud(50_000, 9, false)
+
+	var sc BuildScratch
+	var groups []Group
+	run := func(workers int) {
+		tr := BuildStructureScratch(&sc, ks, pos, mass, grid, 16, workers)
+		tr.ComputePropertiesParallel(workers)
+		groups = tr.MakeGroupsScratch(64, workers, groups)
+	}
+	run(1) // warm the buffers
+	if a := testing.AllocsPerRun(5, func() { run(1) }); a != 0 {
+		t.Errorf("serial pipeline allocated %v per step, want 0", a)
+	}
+
+	if raceEnabled {
+		return // race-detector bookkeeping inflates per-goroutine allocs
+	}
+	run(8) // warm the parallel-only buffers (skeleton, arenas, spans)
+	if a := testing.AllocsPerRun(5, func() { run(8) }); a > 64 {
+		t.Errorf("parallel pipeline allocated %v per step, want small constant", a)
+	}
+}

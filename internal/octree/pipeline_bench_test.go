@@ -1,0 +1,82 @@
+package octree
+
+import (
+	"fmt"
+	"testing"
+
+	"bonsai/internal/keys"
+	"bonsai/internal/vec"
+)
+
+// BenchmarkTreePipeline times the per-rank tree pipeline phases — structure
+// build, multipole properties, group building, and the three chained ("full")
+// — serial vs parallel, over pre-sorted inputs with warm scratch, mirroring a
+// rank's steady-state step. Speedup at workers=8 over workers=1 is the
+// tentpole acceptance number; on a single-core host the parallel variants
+// only measure scheduling overhead.
+func BenchmarkTreePipeline(b *testing.B) {
+	type input struct {
+		ks   []keys.Key
+		pos  []vec.V3
+		mass []float64
+		grid keys.Grid
+	}
+	inputs := map[int]*input{}
+	get := func(n int) *input {
+		if in, ok := inputs[n]; ok {
+			return in
+		}
+		ks, pos, mass, grid := sortedCloud(n, 11, true)
+		in := &input{ks, pos, mass, grid}
+		inputs[n] = in
+		return in
+	}
+
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		for _, workers := range []int{1, 8} {
+			in := get(n)
+			tag := fmt.Sprintf("n=%d/w=%d", n, workers)
+
+			b.Run("build/"+tag, func(b *testing.B) {
+				var sc BuildScratch
+				BuildStructureScratch(&sc, in.ks, in.pos, in.mass, in.grid, 16, workers)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					BuildStructureScratch(&sc, in.ks, in.pos, in.mass, in.grid, 16, workers)
+				}
+			})
+			b.Run("props/"+tag, func(b *testing.B) {
+				var sc BuildScratch
+				tr := BuildStructureScratch(&sc, in.ks, in.pos, in.mass, in.grid, 16, workers)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tr.ComputePropertiesParallel(workers)
+				}
+			})
+			b.Run("groups/"+tag, func(b *testing.B) {
+				var sc BuildScratch
+				tr := BuildStructureScratch(&sc, in.ks, in.pos, in.mass, in.grid, 16, workers)
+				tr.ComputePropertiesParallel(workers)
+				var groups []Group
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					groups = tr.MakeGroupsScratch(64, workers, groups)
+				}
+			})
+			b.Run("full/"+tag, func(b *testing.B) {
+				var sc BuildScratch
+				var groups []Group
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tr := BuildStructureScratch(&sc, in.ks, in.pos, in.mass, in.grid, 16, workers)
+					tr.ComputePropertiesParallel(workers)
+					groups = tr.MakeGroupsScratch(64, workers, groups)
+				}
+			})
+		}
+	}
+}

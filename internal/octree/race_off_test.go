@@ -1,0 +1,5 @@
+//go:build !race
+
+package octree
+
+const raceEnabled = false

@@ -1,0 +1,58 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1001} {
+		for _, w := range []int{1, 2, 3, 8, 33} {
+			hits := make([]int32, n)
+			For(n, w, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d w=%d: index %d hit %d times", n, w, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestDynCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1001} {
+		for _, w := range []int{1, 2, 8, 33} {
+			hits := make([]int32, n)
+			Dyn(n, w, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d w=%d: index %d hit %d times", n, w, i, h)
+				}
+			}
+		}
+	}
+}
+
+// The inline (workers <= 1) path must not allocate when handed an existing
+// func value. Note a closure *literal* at the call site is itself one heap
+// allocation (it escapes through the goroutine branch), which is why hot
+// paths keep literals inside their workers > 1 branch.
+func TestInlinePathAllocFree(t *testing.T) {
+	buf := make([]int, 1024)
+	forFn := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			buf[i] = i
+		}
+	}
+	dynFn := func(i int) { buf[i] = -i }
+	if a := testing.AllocsPerRun(10, func() {
+		For(len(buf), 1, forFn)
+		Dyn(4, 1, dynFn)
+	}); a != 0 {
+		t.Fatalf("inline path allocated %v per run", a)
+	}
+}

@@ -25,14 +25,37 @@ const radix = 1 << radixBits
 // Sort sorts kv in place by Key (ascending, stable) using up to workers
 // goroutines. workers <= 0 selects GOMAXPROCS.
 func Sort(kv []KV, workers int) {
-	var scratch []KV
-	SortScratch(kv, &scratch, workers)
+	var s Sorter
+	s.Sort(kv, workers)
 }
 
 // SortScratch is Sort with a caller-owned ping-pong buffer. The buffer is
-// grown as needed and survives the call, so a caller sorting every step (the
-// sim layer keeps one per rank) pays the allocation once instead of per sort.
+// grown as needed and survives the call, so a caller sorting every step pays
+// the allocation once instead of per sort. Callers that sort every step (the
+// sim layer keeps one per rank) should hold a Sorter instead, which also
+// reuses the per-chunk histogram scratch.
 func SortScratch(kv []KV, scratch *[]KV, workers int) {
+	s := Sorter{buf: *scratch}
+	s.Sort(kv, workers)
+	*scratch = s.buf
+}
+
+// Sorter owns every piece of sort scratch — the ping-pong buffer, the
+// per-chunk digit histograms and offsets, and the chunk bounds — so a caller
+// sorting every step allocates nothing in steady state. The zero value is
+// ready to use; buffers grow on first use and are retained across calls.
+type Sorter struct {
+	buf    []KV
+	hist   [][radix]int
+	off    [][radix]int
+	bounds []int
+}
+
+// Sort sorts kv in place by Key (ascending, stable) using up to workers
+// goroutines; workers <= 0 selects GOMAXPROCS. The single-chunk case runs
+// entirely inline (no goroutines), so a workers=1 steady-state sort performs
+// zero allocations once the Sorter's buffers have grown to the input size.
+func (s *Sorter) Sort(kv []KV, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -40,10 +63,10 @@ func SortScratch(kv []KV, scratch *[]KV, workers int) {
 	if n < 2 {
 		return
 	}
-	if cap(*scratch) < n {
-		*scratch = make([]KV, n)
+	if cap(s.buf) < n {
+		s.buf = make([]KV, n)
 	}
-	buf := (*scratch)[:n]
+	buf := s.buf[:n]
 	if n < 4096 {
 		mergeSort(kv, buf)
 		return
@@ -59,9 +82,12 @@ func SortScratch(kv []KV, scratch *[]KV, workers int) {
 
 	src, dst := kv, buf
 	chunks := workers
-	bounds := chunkBounds(n, chunks)
-	hist := make([][radix]int, chunks)
-	off := make([][radix]int, chunks)
+	if cap(s.hist) < chunks {
+		s.hist = make([][radix]int, chunks)
+		s.off = make([][radix]int, chunks)
+	}
+	hist, off := s.hist[:chunks], s.off[:chunks]
+	bounds := s.chunkBounds(n, chunks)
 
 	for pass := 0; pass < 8; pass++ {
 		shift := uint(pass * radixBits)
@@ -72,18 +98,28 @@ func SortScratch(kv []KV, scratch *[]KV, workers int) {
 		for c := range hist {
 			hist[c] = [radix]int{}
 		}
-		var wg sync.WaitGroup
-		for c := 0; c < chunks; c++ {
-			wg.Add(1)
-			go func(c int) {
-				defer wg.Done()
-				h := &hist[c]
-				for _, e := range src[bounds[c]:bounds[c+1]] {
-					h[(e.Key>>shift)&0xff]++
-				}
-			}(c)
+		if chunks == 1 {
+			h := &hist[0]
+			for _, e := range src {
+				h[(e.Key>>shift)&0xff]++
+			}
+		} else {
+			// src/dst are passed as arguments, not captured: the swap at the
+			// end of each pass would otherwise force them to be heap-boxed at
+			// function entry, costing the single-chunk path two allocations.
+			var wg sync.WaitGroup
+			for c := 0; c < chunks; c++ {
+				wg.Add(1)
+				go func(c int, src []KV) {
+					defer wg.Done()
+					h := &hist[c]
+					for _, e := range src[bounds[c]:bounds[c+1]] {
+						h[(e.Key>>shift)&0xff]++
+					}
+				}(c, src)
+			}
+			wg.Wait()
 		}
-		wg.Wait()
 
 		// Exclusive prefix sums: offset for (digit d, chunk c).
 		total := 0
@@ -95,19 +131,29 @@ func SortScratch(kv []KV, scratch *[]KV, workers int) {
 		}
 
 		// Scatter.
-		for c := 0; c < chunks; c++ {
-			wg.Add(1)
-			go func(c int) {
-				defer wg.Done()
-				o := &off[c]
-				for _, e := range src[bounds[c]:bounds[c+1]] {
-					d := (e.Key >> shift) & 0xff
-					dst[o[d]] = e
-					o[d]++
-				}
-			}(c)
+		if chunks == 1 {
+			o := &off[0]
+			for _, e := range src {
+				d := (e.Key >> shift) & 0xff
+				dst[o[d]] = e
+				o[d]++
+			}
+		} else {
+			var wg sync.WaitGroup
+			for c := 0; c < chunks; c++ {
+				wg.Add(1)
+				go func(c int, src, dst []KV) {
+					defer wg.Done()
+					o := &off[c]
+					for _, e := range src[bounds[c]:bounds[c+1]] {
+						d := (e.Key >> shift) & 0xff
+						dst[o[d]] = e
+						o[d]++
+					}
+				}(c, src, dst)
+			}
+			wg.Wait()
 		}
-		wg.Wait()
 		src, dst = dst, src
 	}
 
@@ -161,8 +207,11 @@ func mergeSort(a, tmp []KV) {
 	}
 }
 
-func chunkBounds(n, chunks int) []int {
-	b := make([]int, chunks+1)
+func (s *Sorter) chunkBounds(n, chunks int) []int {
+	if cap(s.bounds) < chunks+1 {
+		s.bounds = make([]int, chunks+1)
+	}
+	b := s.bounds[:chunks+1]
 	for c := 0; c <= chunks; c++ {
 		b[c] = c * n / chunks
 	}

@@ -1,0 +1,50 @@
+package sim
+
+import "sync"
+
+// letBudget is the process-wide LET-builder budget: a single semaphore
+// shared by every rank of every in-process Simulation. With many simulated
+// ranks on one host, per-rank builder pools multiply — 64 ranks ×
+// max(2, WorkersPerRank) builders can swamp the cores the walk workers
+// need. When Config.LETBudget is set, every LET construction first acquires
+// one unit here, capping total concurrent builds process-wide; unset keeps
+// the historical per-rank sizing (ROADMAP: "couple the pool to a global
+// budget").
+//
+// The cap is passed at acquire time (it is a Config value, not process
+// state), so differently configured simulations can coexist: each waits
+// until the in-use count is below its own cap. Builders never hold the unit
+// across a blocking receive — mpi sends are non-blocking enqueues — so the
+// semaphore cannot deadlock against the message flow.
+type procSem struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	inUse int
+}
+
+func newProcSem() *procSem {
+	s := &procSem{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// acquire blocks until fewer than cap units are in use, then takes one.
+// cap <= 0 panics (callers gate on LETBudget > 0).
+func (s *procSem) acquire(cap int) {
+	s.mu.Lock()
+	for s.inUse >= cap {
+		s.cond.Wait()
+	}
+	s.inUse++
+	s.mu.Unlock()
+}
+
+// release returns one unit and wakes a waiter.
+func (s *procSem) release() {
+	s.mu.Lock()
+	s.inUse--
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+var letBudget = newProcSem()

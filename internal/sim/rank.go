@@ -14,6 +14,7 @@ import (
 	"bonsai/internal/mpi"
 	"bonsai/internal/obs"
 	"bonsai/internal/octree"
+	"bonsai/internal/par"
 	"bonsai/internal/psort"
 	"bonsai/internal/vec"
 )
@@ -42,11 +43,16 @@ type rank struct {
 	groups []octree.Group
 
 	// Scratch reused across steps (per-rank, single-writer): the sort's key
-	// slice and ping-pong buffer, and the particle reorder target. Without
-	// these, sortLocal allocates three n-sized slices per step per rank.
+	// slice and Sorter (ping-pong buffer + radix histograms), the particle
+	// reorder target, the domain phase's Hilbert keys and work weights, and
+	// the tree pipeline's cell arenas. Together these make the steady-state
+	// sort/domain-keys/tree/groups phases allocation-free.
 	kv      []psort.KV
-	sortBuf []psort.KV
+	sorter  psort.Sorter
 	spare   []body.Particle
+	hk      []keys.Key
+	weights []float64
+	ts      octree.BuildScratch
 
 	// Observability (all nil when tracing is disabled): the rank's span
 	// buffer, the shared histogram set, the current evaluation sequence
@@ -86,15 +92,41 @@ func (r *rank) stepForces(step, eval int, domainUpdate bool) {
 	// --- Domain update (decomposition + exchange) every DomainFreq steps.
 	tD := time.Now()
 	if domainUpdate {
-		hk := make([]keys.Key, len(r.parts))
-		for i := range r.parts {
-			hk[i] = r.grid.HilbertOf(r.parts[i].Pos)
+		// Hilbert keys and work weights go into rank scratch (not fresh
+		// slices): the decomposition only reads them during the collective
+		// call, so reuse across domain epochs is safe. The key loop is the
+		// expensive part (Skilling transpose per particle) and is chunked
+		// over the rank's workers.
+		// Closure literals live inside the workers > 1 branches only: they
+		// escape through par.For's goroutines, and hoisting them would cost the
+		// serial path a heap allocation per call.
+		r.hk = resize(r.hk, len(r.parts))
+		hk, parts := r.hk, r.parts
+		if w := r.cfg.WorkersPerRank; w > 1 {
+			par.For(len(parts), w, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					hk[i] = r.grid.HilbertOf(parts[i].Pos)
+				}
+			})
+		} else {
+			for i := range parts {
+				hk[i] = r.grid.HilbertOf(parts[i].Pos)
+			}
 		}
 		var weights []float64
 		if step > 0 {
-			weights = make([]float64, len(r.parts))
-			for i := range r.parts {
-				weights[i] = r.parts[i].Weight
+			r.weights = resize(r.weights, len(parts))
+			weights = r.weights
+			if w := r.cfg.WorkersPerRank; w > 1 {
+				par.For(len(parts), w, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						weights[i] = parts[i].Weight
+					}
+				})
+			} else {
+				for i := range parts {
+					weights[i] = parts[i].Weight
+				}
 			}
 		}
 		r.dec = domain.SampleDecompose(r.comm, hk, weights, domain.Options{PX: r.cfg.PX})
@@ -115,16 +147,18 @@ func (r *rank) stepForces(step, eval int, domainUpdate bool) {
 	r.stats.Times.Sort = time.Since(tS)
 	r.obs.Span(eval, obs.PhaseSort, obs.LaneCompute, 0, tS, tS.Add(r.stats.Times.Sort), 0)
 
-	// --- Tree construction.
+	// --- Tree construction: concurrent subtree build into the rank's
+	// reusable arenas, stitched back to the exact serial layout.
 	tT := time.Now()
-	r.tree = octree.BuildStructure(r.mk, r.pos, r.mass, r.grid, r.cfg.NLeaf)
+	r.tree = octree.BuildStructureScratch(&r.ts, r.mk, r.pos, r.mass, r.grid,
+		r.cfg.NLeaf, r.cfg.WorkersPerRank)
 	r.stats.Times.TreeBuild = time.Since(tT)
 	r.obs.Span(eval, obs.PhaseTreeBuild, obs.LaneCompute, 0, tT, tT.Add(r.stats.Times.TreeBuild), 0)
 
-	// --- Tree properties (multipoles).
+	// --- Tree properties (multipoles) and target groups, both multicore.
 	tP := time.Now()
-	r.tree.ComputeProperties()
-	r.groups = r.tree.MakeGroups(r.cfg.NGroup)
+	r.tree.ComputePropertiesParallel(r.cfg.WorkersPerRank)
+	r.groups = r.tree.MakeGroupsScratch(r.cfg.NGroup, r.cfg.WorkersPerRank, r.groups)
 	r.stats.Times.TreeProps = time.Since(tP)
 	r.obs.Span(eval, obs.PhaseTreeProps, obs.LaneCompute, 0, tP, tP.Add(r.stats.Times.TreeProps), 0)
 
@@ -149,33 +183,57 @@ func (r *rank) stepForces(step, eval int, domainUpdate bool) {
 }
 
 // sortLocal computes Morton keys and reorders r.parts (and the SoA views)
-// into key order, reusing the rank's scratch buffers.
+// into key order, reusing the rank's scratch buffers. Key computation, the
+// permutation, and the SoA fill are all chunked over the rank's workers;
+// every loop writes disjoint indices, so the result is independent of the
+// worker count.
 func (r *rank) sortLocal() {
 	n := len(r.parts)
+	workers := r.cfg.WorkersPerRank
 	r.kv = resize(r.kv, n)
-	kv := r.kv
-	for i := range r.parts {
-		kv[i] = psort.KV{Key: uint64(r.grid.MortonOf(r.parts[i].Pos)), Idx: int32(i)}
+	kv, parts := r.kv, r.parts
+	if workers > 1 {
+		par.For(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				kv[i] = psort.KV{Key: uint64(r.grid.MortonOf(parts[i].Pos)), Idx: int32(i)}
+			}
+		})
+	} else {
+		for i := range parts {
+			kv[i] = psort.KV{Key: uint64(r.grid.MortonOf(parts[i].Pos)), Idx: int32(i)}
+		}
 	}
-	psort.SortScratch(kv, &r.sortBuf, r.cfg.WorkersPerRank)
+	r.sorter.Sort(kv, workers)
 
 	r.spare = resize(r.spare, n)
-	psort.Permute(kv, r.parts, r.spare)
-	r.parts, r.spare = r.spare, r.parts
-	sorted := r.parts
-
 	r.mk = resize(r.mk, n)
 	r.pos = resize(r.pos, n)
 	r.mass = resize(r.mass, n)
 	r.acc = resize(r.acc, n)
 	r.pot = resize(r.pot, n)
-	for i := range sorted {
-		r.mk[i] = keys.Key(kv[i].Key)
-		r.pos[i] = sorted[i].Pos
-		r.mass[i] = sorted[i].Mass
-		r.acc[i] = vec.V3{}
-		r.pot[i] = 0
+	spare := r.spare
+	if workers > 1 {
+		par.For(n, workers, func(lo, hi int) {
+			psort.Permute(kv[lo:hi], parts, spare[lo:hi])
+			for i := lo; i < hi; i++ {
+				r.mk[i] = keys.Key(kv[i].Key)
+				r.pos[i] = spare[i].Pos
+				r.mass[i] = spare[i].Mass
+				r.acc[i] = vec.V3{}
+				r.pot[i] = 0
+			}
+		})
+	} else {
+		psort.Permute(kv, parts, spare)
+		for i := 0; i < n; i++ {
+			r.mk[i] = keys.Key(kv[i].Key)
+			r.pos[i] = spare[i].Pos
+			r.mass[i] = spare[i].Mass
+			r.acc[i] = vec.V3{}
+			r.pot[i] = 0
+		}
 	}
+	r.parts, r.spare = r.spare, r.parts
 }
 
 // gravity performs the overlapped local + LET force computation, the paper's
@@ -232,6 +290,14 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 	// that time is exactly the communication cost the pipeline would hide.
 	sentBytes := make([]int64, len(sendTo))
 	buildLET := func(k, worker int) {
+		// Under a process-wide builder budget, take one unit for the
+		// duration of the construction+push. The serial baseline skips the
+		// budget: it builds on the compute thread and must not block on
+		// other ranks' builders.
+		if b := r.cfg.LETBudget; b > 0 && !r.cfg.SerialLET {
+			letBudget.acquire(b)
+			defer letBudget.release()
+		}
 		j := sendTo[k]
 		var tb time.Time
 		if r.obs != nil {

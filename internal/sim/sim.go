@@ -67,6 +67,14 @@ type Config struct {
 	// capped at the number of destination ranks.
 	LETWorkers int
 
+	// LETBudget, when positive, caps the number of LET constructions
+	// running concurrently across the whole process (all ranks, all
+	// in-process simulations) via a shared semaphore. Oversubscribed
+	// many-rank runs — 64 simulated ranks on an 8-core host — otherwise
+	// spawn per-rank builder pools that starve the walk workers. 0 (the
+	// default) keeps the per-rank LETWorkers sizing with no global cap.
+	LETBudget int
+
 	// SerialLET disables all communication/compute overlap in the gravity
 	// phase: outgoing LETs are built and pushed on the compute thread
 	// before the local tree-walk, and incoming ones are walked only after
@@ -97,6 +105,9 @@ func (c *Config) letBuilders(dests int) int {
 		if w < 2 {
 			w = 2
 		}
+	}
+	if c.LETBudget > 0 && w > c.LETBudget {
+		w = c.LETBudget // pool larger than the global budget would just idle
 	}
 	if w > dests {
 		w = dests
