@@ -1,12 +1,19 @@
 GO ?= go
 BENCH_JSON ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: tier1 vet build test race bench bench-compare bench-overlap trace-smoke
+.PHONY: tier1 vet build test race fuzz-smoke bench bench-compare bench-overlap trace-smoke
 
 # tier1 is the pre-merge gate: static checks, full build and test suite,
-# plus the race-detector subset covering the concurrent gravity pipeline
-# (8+ ranks, multiple walk workers), the MPI mailbox, and the parallel sort.
-tier1: vet build test race
+# the race-detector subset covering the concurrent gravity pipeline
+# (8+ ranks, multiple walk workers), the MPI mailbox, and the parallel sort,
+# plus a short fuzz of the fused sort+build against the separate reference.
+tier1: vet build test race fuzz-smoke
+
+# A 10-second fuzz of the fused MSD sort + tree construction: random clouds,
+# sizes, and worker counts must always produce cells bitwise identical to
+# the separate sort-then-build path.
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz FuzzSortBuildEquivalence -fuzztime 10s ./internal/octree
 
 vet:
 	$(GO) vet ./...
@@ -21,13 +28,17 @@ race:
 	$(GO) test -race -count=1 ./internal/sim ./internal/mpi ./internal/psort ./internal/obs ./internal/octree ./internal/par
 
 # Force-kernel microbenchmarks (batched SoA vs scalar per-pair, ns/inter),
-# the full 100k-particle tree-walk, and the tree-pipeline phases (build /
-# properties / groups, serial vs 8 workers), recorded as a JSON baseline so
+# the full 100k-particle tree-walk, the tree-pipeline phases (build /
+# properties / groups, serial vs 8 workers), and the fused MSD sort+build
+# against the separate sort-then-build path, recorded as a JSON baseline so
 # the perf trajectory of successive PRs is measurable (BENCH_<date>.json).
+# -count=3 gives benchjson three samples per benchmark; compares reduce them
+# to medians so one noisy sample cannot fake (or mask) a regression.
 bench:
-	@{ $(GO) test -run XXX -bench 'BenchmarkKernels' -benchtime 300x . ; \
-	   $(GO) test -run XXX -bench 'BenchmarkWalk100k' -benchtime 2x ./internal/octree ; \
-	   $(GO) test -run XXX -bench 'BenchmarkTreePipeline' -benchtime 2x ./internal/octree ; } \
+	@{ $(GO) test -run XXX -bench 'BenchmarkKernels' -benchtime 300x -count=3 . ; \
+	   $(GO) test -run XXX -bench 'BenchmarkWalk100k' -benchtime 2x -count=3 ./internal/octree ; \
+	   $(GO) test -run XXX -bench 'BenchmarkTreePipeline' -benchtime 2x -count=3 ./internal/octree ; \
+	   $(GO) test -run XXX -bench 'BenchmarkSortBuildFused' -benchtime 2x -count=3 ./internal/octree ; } \
 	  | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 
 # bench-compare guards against perf regressions: rerun the benchmarks into a

@@ -151,9 +151,8 @@ func printTable2Measured(perRank, maxRanks int) {
 		}
 		fmt.Println()
 	}
-	row("Sorting SFC", func(s bonsai.StepStats) float64 { return s.Times.Sort.Seconds() * 1e3 })
+	row("Sort + tree-construction", func(s bonsai.StepStats) float64 { return s.Times.SortBuild.Seconds() * 1e3 })
 	row("Domain Update", func(s bonsai.StepStats) float64 { return s.Times.Domain.Seconds() * 1e3 })
-	row("Tree-construction", func(s bonsai.StepStats) float64 { return s.Times.TreeBuild.Seconds() * 1e3 })
 	row("Tree-properties", func(s bonsai.StepStats) float64 { return s.Times.TreeProps.Seconds() * 1e3 })
 	row("Compute gravity Local-tree", func(s bonsai.StepStats) float64 { return s.Times.GravLocal.Seconds() * 1e3 })
 	row("Compute gravity LETs", func(s bonsai.StepStats) float64 { return s.Times.GravLET.Seconds() * 1e3 })

@@ -14,8 +14,11 @@
 //
 // It prints the ns/op delta for every benchmark present in both files and
 // exits non-zero if any regressed by more than -threshold percent (default
-// 25). Benchmarks that exist in only one file are listed but never fail the
-// run (they are additions or removals, not regressions).
+// 25). Repeated samples of one benchmark (from `go test -count=N`) are
+// reduced to their median before the delta is computed, so a single noisy
+// run cannot trip the threshold. Benchmarks that exist in only one file are
+// listed but never fail the run (they are additions or removals, not
+// regressions).
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -101,7 +105,9 @@ func main() {
 
 // compareBaselines reports per-benchmark ns/op deltas between two baseline
 // files and returns an error when any shared benchmark regressed by more than
-// threshold percent.
+// threshold percent. A file produced from a -count=N run carries N samples
+// per benchmark; each side is reduced to its per-benchmark median first, so
+// one outlier sample (GC pause, scheduler hiccup) cannot fake a regression.
 func compareBaselines(oldPath, newPath string, threshold float64) error {
 	oldDoc, err := readBaseline(oldPath)
 	if err != nil {
@@ -111,37 +117,37 @@ func compareBaselines(oldPath, newPath string, threshold float64) error {
 	if err != nil {
 		return err
 	}
-	oldNs := map[string]float64{}
-	for _, r := range oldDoc.Benchmarks {
-		if v, ok := r.Metrics["ns/op"]; ok {
-			oldNs[r.Name] = v
+	oldNs := medianNs(oldDoc)
+	newNs := medianNs(newDoc)
+	names := make([]string, 0, len(newNs))
+	for _, r := range newDoc.Benchmarks { // preserve file order, one row per name
+		if _, ok := newNs[r.Name]; ok && !contains(names, r.Name) {
+			names = append(names, r.Name)
 		}
 	}
-	fmt.Printf("comparing %s (old) vs %s (new), threshold %.0f%%\n", oldPath, newPath, threshold)
+	fmt.Printf("comparing %s (old) vs %s (new), threshold %.0f%% on median ns/op\n", oldPath, newPath, threshold)
 	var regressions []string
-	seen := map[string]bool{}
-	for _, r := range newDoc.Benchmarks {
-		nv, ok := r.Metrics["ns/op"]
-		if !ok {
-			continue
-		}
-		ov, shared := oldNs[r.Name]
+	for _, name := range names {
+		nv := newNs[name]
+		ov, shared := oldNs[name]
 		if !shared {
-			fmt.Printf("  %-60s %12.0f ns/op  (new benchmark)\n", r.Name, nv)
+			fmt.Printf("  %-60s %12.0f ns/op  (new benchmark)\n", name, nv)
 			continue
 		}
-		seen[r.Name] = true
 		pct := 100 * (nv - ov) / ov
 		mark := ""
 		if pct > threshold {
 			mark = "  REGRESSION"
-			regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)", r.Name, ov, nv, pct))
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)", name, ov, nv, pct))
 		}
-		fmt.Printf("  %-60s %12.0f -> %12.0f ns/op  %+7.1f%%%s\n", r.Name, ov, nv, pct, mark)
+		fmt.Printf("  %-60s %12.0f -> %12.0f ns/op  %+7.1f%%%s\n", name, ov, nv, pct, mark)
 	}
 	for _, r := range oldDoc.Benchmarks {
-		if _, ok := r.Metrics["ns/op"]; ok && !seen[r.Name] {
-			fmt.Printf("  %-60s (removed; was %.0f ns/op)\n", r.Name, r.Metrics["ns/op"])
+		if _, ok := newNs[r.Name]; !ok {
+			if ov, had := oldNs[r.Name]; had {
+				fmt.Printf("  %-60s (removed; was %.0f ns/op)\n", r.Name, ov)
+				delete(oldNs, r.Name) // print each removal once
+			}
 		}
 	}
 	if len(regressions) > 0 {
@@ -150,6 +156,37 @@ func compareBaselines(oldPath, newPath string, threshold float64) error {
 	}
 	fmt.Println("no regressions beyond threshold")
 	return nil
+}
+
+// medianNs collapses a baseline to one ns/op value per benchmark name: the
+// median of however many samples the file carries.
+func medianNs(doc *Baseline) map[string]float64 {
+	samples := map[string][]float64{}
+	for _, r := range doc.Benchmarks {
+		if v, ok := r.Metrics["ns/op"]; ok {
+			samples[r.Name] = append(samples[r.Name], v)
+		}
+	}
+	out := make(map[string]float64, len(samples))
+	for name, vs := range samples {
+		sort.Float64s(vs)
+		n := len(vs)
+		if n%2 == 1 {
+			out[name] = vs[n/2]
+		} else {
+			out[name] = (vs[n/2-1] + vs[n/2]) / 2
+		}
+	}
+	return out
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 func readBaseline(path string) (*Baseline, error) {

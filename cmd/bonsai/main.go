@@ -120,11 +120,11 @@ func main() {
 		st := s.Step()
 		if !*quiet {
 			k, p := s.Energy()
-			fmt.Printf("step %4d  t=%7.2f Myr  E=%12.5e  step=%6.0f ms  [sort %3.0f dom %3.0f tree %3.0f grav %4.0f+%4.0f comm %3.0f]  pp/pc %.0f/%.0f  %5.2f Gflop/s\n",
+			fmt.Printf("step %4d  t=%7.2f Myr  E=%12.5e  step=%6.0f ms  [sort+build %3.0f dom %3.0f props %3.0f grav %4.0f+%4.0f comm %3.0f]  pp/pc %.0f/%.0f  %5.2f Gflop/s\n",
 				startStep+s.StepCount(), (startTime+bonsai.Gyr(s.Time()))*1e3, k+p,
 				st.MaxTimes.Total.Seconds()*1e3,
-				st.Times.Sort.Seconds()*1e3, st.Times.Domain.Seconds()*1e3,
-				(st.Times.TreeBuild+st.Times.TreeProps).Seconds()*1e3,
+				st.Times.SortBuild.Seconds()*1e3, st.Times.Domain.Seconds()*1e3,
+				st.Times.TreeProps.Seconds()*1e3,
 				st.Times.GravLocal.Seconds()*1e3, st.Times.GravLET.Seconds()*1e3,
 				st.Times.NonHiddenComm.Seconds()*1e3,
 				st.PPPerParticle, st.PCPerParticle, st.AppGflops)

@@ -42,13 +42,14 @@ const (
 	PhaseIntegrate              // leapfrog kick/drift
 	PhaseArrive                 // instant: a full LET arrived (arg = source rank)
 	PhaseWalkDone               // instant: local-tree walk completed
+	PhaseSortBuild              // fused SFC sort + octree construction (one pass)
 	numPhase
 )
 
 var phaseNames = [numPhase]string{
 	"sort", "domain", "tree-build", "tree-props", "boundary-allgather",
 	"walk:local", "walk:let", "walk:boundary", "let:build", "recv:wait",
-	"wait:let", "integrate", "let:arrive", "walk:done",
+	"wait:let", "integrate", "let:arrive", "walk:done", "sort+build",
 }
 
 func (p Phase) String() string {

@@ -1,0 +1,252 @@
+package octree
+
+import (
+	"testing"
+
+	"bonsai/internal/keys"
+	"bonsai/internal/psort"
+	"bonsai/internal/vec"
+)
+
+// unsortedCloud returns the pre-sort inputs of the fused pipeline: Morton
+// key/index pairs in original particle order plus the unsorted payload.
+func unsortedCloud(n int, seed int64, clustered bool) ([]psort.KV, []vec.V3, []float64, keys.Grid) {
+	var pos []vec.V3
+	var mass []float64
+	if clustered {
+		pos, mass = clusteredCloud(n, seed)
+	} else {
+		pos, mass = randomCloud(n, seed)
+	}
+	bb := vec.EmptyBox()
+	for _, p := range pos {
+		bb = bb.Extend(p)
+	}
+	grid := keys.NewGrid(bb)
+	kv := make([]psort.KV, n)
+	for i, p := range pos {
+		kv[i] = psort.KV{Key: uint64(grid.MortonOf(p)), Idx: int32(i)}
+	}
+	return kv, pos, mass, grid
+}
+
+// fusedHarness owns the buffers the sim layer would own: the working kv
+// slice, the sorted-output arrays, and the fill callback that permutes the
+// payload range by range. Reused across runs like a rank's scratch.
+type fusedHarness struct {
+	orig []psort.KV // pristine unsorted copy
+	kv   []psort.KV // working slice, sorted in place per run
+	pos  []vec.V3   // original order
+	mass []float64
+	grid keys.Grid
+	ks   []keys.Key // sorted outputs, written by fill
+	sp   []vec.V3
+	sm   []float64
+	sc   BuildScratch
+	srt  psort.Sorter
+	fill func(lo, hi int)
+}
+
+func newFusedHarness(n int, seed int64, clustered bool) *fusedHarness {
+	h := &fusedHarness{}
+	h.orig, h.pos, h.mass, h.grid = unsortedCloud(n, seed, clustered)
+	h.reset(h.orig, h.pos, h.mass, h.grid)
+	return h
+}
+
+// reset points the harness at a (possibly different) input cloud, reusing
+// buffers when capacities allow — the cross-input reuse the sim layer does.
+func (h *fusedHarness) reset(kv []psort.KV, pos []vec.V3, mass []float64, grid keys.Grid) {
+	n := len(kv)
+	h.orig, h.pos, h.mass, h.grid = kv, pos, mass, grid
+	if cap(h.kv) < n {
+		h.kv = make([]psort.KV, n)
+		h.ks = make([]keys.Key, n)
+		h.sp = make([]vec.V3, n)
+		h.sm = make([]float64, n)
+	}
+	h.kv, h.ks, h.sp, h.sm = h.kv[:n], h.ks[:n], h.sp[:n], h.sm[:n]
+	if h.fill == nil {
+		h.fill = func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := h.kv[i]
+				h.ks[i] = keys.Key(e.Key)
+				h.sp[i] = h.pos[e.Idx]
+				h.sm[i] = h.mass[e.Idx]
+			}
+		}
+	}
+}
+
+func (h *fusedHarness) run(workers int) *Tree {
+	copy(h.kv, h.orig)
+	return SortBuildScratch(&h.sc, &h.srt, h.kv, h.ks, h.sp, h.sm, h.grid, 16, workers, h.fill)
+}
+
+// checkAgainstSerial compares one fused run against the separate-path
+// reference (psort.Sort + serial BuildStructure): sorted keys and payload,
+// then cells including multipoles.
+func (h *fusedHarness) checkAgainstSerial(t *testing.T, workers int, label string) {
+	t.Helper()
+	ks, sp, sm, grid := refSorted(h.orig, h.pos, h.mass, h.grid)
+	ref := BuildStructure(ks, sp, sm, grid, 16)
+	ref.ComputeProperties()
+
+	tr := h.run(workers)
+	for i := range ks {
+		if h.ks[i] != ks[i] || h.sp[i] != sp[i] || h.sm[i] != sm[i] {
+			t.Fatalf("%s w=%d: sorted payload differs at %d", label, workers, i)
+		}
+	}
+	tr.ComputePropertiesParallel(workers)
+	requireSameCells(t, ref.Cells, tr.Cells, label)
+}
+
+// refSorted is the separate-path sort: full LSD radix + payload permute.
+func refSorted(kv []psort.KV, pos []vec.V3, mass []float64, grid keys.Grid) ([]keys.Key, []vec.V3, []float64, keys.Grid) {
+	s := append([]psort.KV(nil), kv...)
+	psort.Sort(s, 1)
+	n := len(s)
+	ks := make([]keys.Key, n)
+	sp := make([]vec.V3, n)
+	sm := make([]float64, n)
+	for i, e := range s {
+		ks[i] = keys.Key(e.Key)
+		sp[i] = pos[e.Idx]
+		sm[i] = mass[e.Idx]
+	}
+	return ks, sp, sm, grid
+}
+
+// TestSortBuildFusedBitwiseIdentical is the tentpole guarantee: the fused
+// MSD sort+build reproduces the separate path — sorted arrays, cell layout,
+// multipoles — bit for bit, for any worker count, on random, clustered,
+// small (fallback) and degenerate all-equal-key clouds.
+func TestSortBuildFusedBitwiseIdentical(t *testing.T) {
+	cases := []struct {
+		name      string
+		n         int
+		clustered bool
+	}{
+		{"random60k", 60_000, false},
+		{"clustered60k", 60_000, true},
+		{"small2k", 2_000, false}, // below fusedBuildMin: sort+serial fallback
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newFusedHarness(tc.n, 42, tc.clustered)
+			for _, workers := range []int{1, 2, 3, 8} {
+				h.checkAgainstSerial(t, workers, tc.name)
+			}
+		})
+	}
+
+	t.Run("allEqualKeys", func(t *testing.T) {
+		// Every particle at the same point: one key repeated, the tree
+		// degenerates to a single-child chain ending in a depth-limit leaf
+		// (a frontier task at level >= keys.Bits, far above the cutoff).
+		const n = 20_000
+		pos := make([]vec.V3, n)
+		mass := make([]float64, n)
+		for i := range pos {
+			pos[i] = vec.V3{X: 0.5, Y: 0.5, Z: 0.5}
+			mass[i] = 1.0 / n
+		}
+		grid := keys.NewGrid(vec.Box{Min: vec.V3{}, Max: vec.V3{X: 1, Y: 1, Z: 1}})
+		kv := make([]psort.KV, n)
+		for i, p := range pos {
+			kv[i] = psort.KV{Key: uint64(grid.MortonOf(p)), Idx: int32(i)}
+		}
+		h := &fusedHarness{}
+		h.reset(kv, pos, mass, grid)
+		for _, workers := range []int{1, 4} {
+			h.checkAgainstSerial(t, workers, "allEqualKeys")
+		}
+	})
+}
+
+// TestSortBuildFusedReuseAcrossInputs drives one harness (one BuildScratch,
+// one Sorter) through clouds of different sizes and shapes; stale partition
+// bounds, buffer parities or arena state would corrupt later builds.
+func TestSortBuildFusedReuseAcrossInputs(t *testing.T) {
+	h := &fusedHarness{}
+	for i, tc := range []struct {
+		n         int
+		clustered bool
+	}{
+		{60_000, false}, {20_000, true}, {40_000, false}, {3_000, false}, {50_000, true},
+	} {
+		kv, pos, mass, grid := unsortedCloud(tc.n, int64(100+i), tc.clustered)
+		h.reset(kv, pos, mass, grid)
+		h.checkAgainstSerial(t, 4, "reuse")
+	}
+}
+
+// TestSortBuildFusedAllocFree: with warm scratch the fused serial pipeline
+// performs zero allocations per step (acceptance criterion), and the
+// parallel variant stays at a small goroutine-bookkeeping constant.
+func TestSortBuildFusedAllocFree(t *testing.T) {
+	h := newFusedHarness(50_000, 9, false)
+
+	var groups []Group
+	run := func(workers int) {
+		tr := h.run(workers)
+		tr.ComputePropertiesParallel(workers)
+		groups = tr.MakeGroupsScratch(64, workers, groups)
+	}
+	run(1) // warm buffers
+	if a := testing.AllocsPerRun(5, func() { run(1) }); a != 0 {
+		t.Errorf("serial fused pipeline allocated %v per step, want 0", a)
+	}
+
+	if raceEnabled {
+		return // race-detector bookkeeping inflates per-goroutine allocs
+	}
+	// The parallel bound is looser than the separate path's: every chunked
+	// MSD partition pass spawns its own goroutines, so the bookkeeping is
+	// O(depth·workers) — still independent of N.
+	run(8)
+	if a := testing.AllocsPerRun(5, func() { run(8) }); a > 256 {
+		t.Errorf("parallel fused pipeline allocated %v per step, want small constant", a)
+	}
+}
+
+// FuzzSortBuildEquivalence: for random clouds (size, shape, worker count
+// driven by the fuzzer) the fused path must reproduce the separate
+// psort.Sort + BuildStructureScratch output — sorted keys, Cells, and
+// multipoles — bit for bit.
+func FuzzSortBuildEquivalence(f *testing.F) {
+	f.Add(int64(1), uint16(5000), false, uint8(0))
+	f.Add(int64(2), uint16(20_000), true, uint8(3))
+	f.Add(int64(3), uint16(60_000), false, uint8(7))
+	f.Add(int64(4), uint16(100), false, uint8(1))
+	f.Add(int64(5), uint16(0), true, uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, n16 uint16, clustered bool, w8 uint8) {
+		n := int(n16)
+		workers := 1 + int(w8)%8
+		kv, pos, mass, grid := unsortedCloud(n, seed, clustered)
+
+		ks, sp, sm, _ := refSorted(kv, pos, mass, grid)
+		var rsc BuildScratch
+		ref := BuildStructureScratch(&rsc, ks, sp, sm, grid, 16, workers)
+		ref.ComputePropertiesParallel(workers)
+
+		h := &fusedHarness{}
+		h.reset(kv, pos, mass, grid)
+		tr := h.run(workers)
+		for i := range ks {
+			if h.ks[i] != ks[i] || h.sp[i] != sp[i] || h.sm[i] != sm[i] {
+				t.Fatalf("seed=%d n=%d w=%d: sorted payload differs at %d", seed, n, workers, i)
+			}
+		}
+		tr.ComputePropertiesParallel(workers)
+		if len(ref.Cells) != len(tr.Cells) {
+			t.Fatalf("seed=%d n=%d w=%d: cell count %d != %d", seed, n, workers, len(tr.Cells), len(ref.Cells))
+		}
+		for i := range ref.Cells {
+			if ref.Cells[i] != tr.Cells[i] {
+				t.Fatalf("seed=%d n=%d w=%d: cell %d differs", seed, n, workers, i)
+			}
+		}
+	})
+}

@@ -46,7 +46,9 @@ func frontierRef(task int) int32 { return -2 - int32(task) }
 func frontierTask(ref int32) int { return int(-2 - ref) }
 
 // subtreeTask is one delegated subtree: its particle range, the worker
-// arena it was built into, and its placement in the final layout.
+// arena it was built into, and its placement in the final layout. The fused
+// sort+build path additionally records the key-buffer parity of the range
+// (inBuf) so the finishing sort knows where the partition left its data.
 type subtreeTask struct {
 	level    int32
 	start, n int32
@@ -54,6 +56,7 @@ type subtreeTask struct {
 	off      int32 // offset of the subtree root within the arena
 	len      int32 // cells in the subtree
 	base     int32 // final index of the subtree root after placement
+	inBuf    bool  // fused path: range currently lives in the sorter's buffer
 }
 
 // BuildScratch owns every buffer of the tree pipeline — the final cell
@@ -70,6 +73,11 @@ type BuildScratch struct {
 	arenas [][]Cell
 	top    []int32
 	subs   []cellSpan
+
+	// Fused sort+build state (SortBuildScratch): per-expansion-depth MSD
+	// bucket bounds, and the sorter/key view the recursive partition reads.
+	msdBounds [][]int
+	fz        fusedState
 }
 
 // BuildStructureScratch is BuildStructure with worker parallelism and
@@ -153,10 +161,16 @@ func buildParallel(t *Tree, sc *BuildScratch, workers int) {
 	}
 	wg.Wait()
 
-	// --- Stage 3a: placement. Replay the serial depth-first order over the
-	// skeleton, assigning every top cell its final index and every subtree
-	// its contiguous span; this serial pass only touches the (few) top
-	// cells.
+	placeAndStitch(t, sc, workers)
+}
+
+// placeAndStitch is the shared final stage of both parallel constructors
+// (binary-search skeleton and fused MSD partition): replay the serial
+// depth-first order over the skeleton to assign every top cell its final
+// index and every subtree its contiguous span, then copy the arena-built
+// subtrees into place.
+func placeAndStitch(t *Tree, sc *BuildScratch, workers int) {
+	// --- Placement. This serial pass only touches the (few) top cells.
 	total := len(sc.skel)
 	for i := range sc.tasks {
 		total += int(sc.tasks[i].len)
@@ -164,53 +178,67 @@ func buildParallel(t *Tree, sc *BuildScratch, workers int) {
 	sc.cells = resizeCells(sc.cells, total)
 	sc.top = sc.top[:0]
 	sc.subs = sc.subs[:0]
-	cursor := int32(0)
-	var place func(si int32) int32
-	place = func(si int32) int32 {
-		final := cursor
-		cursor++
-		sc.cells[final] = sc.skel[si].cell
-		sc.top = append(sc.top, final)
-		for oct, ref := range sc.skel[si].children {
-			switch {
-			case ref == NilCell:
-				// already NilCell in the copied cell
-			case ref >= 0:
-				sc.cells[final].Children[oct] = place(ref)
-			default:
-				tk := &sc.tasks[frontierTask(ref)]
-				tk.base = cursor
-				cursor += tk.len
-				sc.cells[final].Children[oct] = tk.base
-				sc.subs = append(sc.subs, cellSpan{tk.base, tk.len})
-			}
-		}
-		return final
-	}
-	place(0)
+	sc.place(0, 0)
 
-	// --- Stage 3b: stitch. Copy every arena-built subtree into its final
-	// span, shifting child indices by (final base − arena offset). Subtrees
-	// are disjoint spans, so the copies run concurrently.
-	par.Dyn(len(sc.tasks), workers, func(k int) {
-		tk := &sc.tasks[k]
-		src := arenas[tk.arena][tk.off : tk.off+tk.len]
-		dst := sc.cells[tk.base : tk.base+tk.len]
-		shift := tk.base - tk.off
-		for i := range src {
-			c := src[i]
-			for o := 0; o < 8; o++ {
-				if c.Children[o] != NilCell {
-					c.Children[o] += shift
-				}
-			}
-			dst[i] = c
+	// --- Stitch. Copy every arena-built subtree into its final span,
+	// shifting child indices by (final base − arena offset). Subtrees are
+	// disjoint spans, so the copies run concurrently. The closure literal
+	// stays inside the workers > 1 branch to keep the serial path
+	// allocation free.
+	if workers > 1 {
+		par.Dyn(len(sc.tasks), workers, func(k int) { stitchTask(sc, k) })
+	} else {
+		for k := range sc.tasks {
+			stitchTask(sc, k)
 		}
-	})
+	}
 
 	t.Cells = sc.cells
 	t.topCells = sc.top
 	t.subSpans = sc.subs
+}
+
+// place copies skeleton cell si to the final index `cursor` and returns the
+// cursor advanced past the whole subtree rooted there. A method (not a
+// closure) so the serial fused path stays allocation free.
+func (sc *BuildScratch) place(si, cursor int32) int32 {
+	final := cursor
+	cursor++
+	sc.cells[final] = sc.skel[si].cell
+	sc.top = append(sc.top, final)
+	for oct, ref := range sc.skel[si].children {
+		switch {
+		case ref == NilCell:
+			// already NilCell in the copied cell
+		case ref >= 0:
+			sc.cells[final].Children[oct] = cursor
+			cursor = sc.place(ref, cursor)
+		default:
+			tk := &sc.tasks[frontierTask(ref)]
+			tk.base = cursor
+			cursor += tk.len
+			sc.cells[final].Children[oct] = tk.base
+			sc.subs = append(sc.subs, cellSpan{tk.base, tk.len})
+		}
+	}
+	return cursor
+}
+
+// stitchTask copies one subtree from its worker arena into its final span.
+func stitchTask(sc *BuildScratch, k int) {
+	tk := &sc.tasks[k]
+	src := sc.arenas[tk.arena][tk.off : tk.off+tk.len]
+	dst := sc.cells[tk.base : tk.base+tk.len]
+	shift := tk.base - tk.off
+	for i := range src {
+		c := src[i]
+		for o := 0; o < 8; o++ {
+			if c.Children[o] != NilCell {
+				c.Children[o] += shift
+			}
+		}
+		dst[i] = c
+	}
 }
 
 // buildSkeleton expands the cell covering [start, end) serially, delegating

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"bonsai/internal/keys"
+	"bonsai/internal/psort"
 	"bonsai/internal/vec"
 )
 
@@ -75,6 +76,61 @@ func BenchmarkTreePipeline(b *testing.B) {
 					tr := BuildStructureScratch(&sc, in.ks, in.pos, in.mass, in.grid, 16, workers)
 					tr.ComputePropertiesParallel(workers)
 					groups = tr.MakeGroupsScratch(64, workers, groups)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSortBuildFused times the fused MSD sort+build against the
+// separate psort.Sort + permute + BuildStructureScratch path over identical
+// unsorted inputs with warm scratch. The fused/separate delta at each
+// (n, workers) point is the tentpole acceptance number of the fusion PR.
+func BenchmarkSortBuildFused(b *testing.B) {
+	inputs := map[int]*fusedHarness{}
+	get := func(n int) *fusedHarness {
+		if h, ok := inputs[n]; ok {
+			return h
+		}
+		h := newFusedHarness(n, 11, true)
+		inputs[n] = h
+		return h
+	}
+
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		for _, workers := range []int{1, 8} {
+			h := get(n)
+			tag := fmt.Sprintf("n=%d/w=%d", n, workers)
+
+			b.Run("fused/"+tag, func(b *testing.B) {
+				h.run(workers) // warm scratch
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					h.run(workers)
+				}
+			})
+			b.Run("separate/"+tag, func(b *testing.B) {
+				// The same work split the old way: full LSD sort, payload
+				// permute, then the binary-search parallel build.
+				kv := make([]psort.KV, n)
+				var srt psort.Sorter
+				var sc BuildScratch
+				run := func() {
+					copy(kv, h.orig)
+					srt.Sort(kv, workers)
+					for i, e := range kv {
+						h.ks[i] = keys.Key(e.Key)
+						h.sp[i] = h.pos[e.Idx]
+						h.sm[i] = h.mass[e.Idx]
+					}
+					BuildStructureScratch(&sc, h.ks, h.sp, h.sm, h.grid, 16, workers)
+				}
+				run() // warm scratch
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					run()
 				}
 			})
 		}

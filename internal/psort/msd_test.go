@@ -1,0 +1,231 @@
+package psort
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// refStable is the reference result: a stable stdlib sort by Key.
+func refStable(kv []KV) []KV {
+	want := append([]KV(nil), kv...)
+	sort.SliceStable(want, func(i, j int) bool { return want[i].Key < want[j].Key })
+	return want
+}
+
+// TestPartitionDigits checks that one MSD pass produces correct, stable
+// bucket boundaries for a mix of digit widths, worker counts, and buffer
+// parities.
+func TestPartitionDigits(t *testing.T) {
+	for _, tc := range []struct {
+		n       int
+		bits    int
+		shift   uint
+		workers int
+	}{
+		{100, 3, 60, 1},
+		{100, 3, 60, 4}, // small range: falls back to inline
+		{60_000, 3, 60, 1},
+		{60_000, 3, 60, 8},
+		{60_000, 6, 57, 8},
+		{60_000, 8, 0, 4},
+		{0, 3, 60, 4},
+	} {
+		var s Sorter
+		kv := randomKV(tc.n, int64(tc.n)+int64(tc.bits), ^uint64(0)>>1)
+		orig := append([]KV(nil), kv...)
+		r := 1 << tc.bits
+		mask := uint64(r - 1)
+		bounds := make([]int, r+1)
+		s.PartitionDigits(kv, 0, tc.n, false, tc.shift, tc.bits, bounds, tc.workers)
+
+		if bounds[0] != 0 || bounds[r] != tc.n {
+			t.Fatalf("n=%d bits=%d: bounds ends %d,%d", tc.n, tc.bits, bounds[0], bounds[r])
+		}
+		// The result lives in s.buf (one pass flips the buffer); every bucket
+		// must hold exactly the elements with that digit, in original order.
+		var want [][]KV
+		for d := 0; d < r; d++ {
+			want = append(want, nil)
+		}
+		for _, e := range orig {
+			d := (e.Key >> tc.shift) & mask
+			want[d] = append(want[d], e)
+		}
+		pos := 0
+		for d := 0; d < r; d++ {
+			if got := bounds[d+1] - bounds[d]; got != len(want[d]) {
+				t.Fatalf("n=%d bits=%d: bucket %d has %d elements, want %d", tc.n, tc.bits, d, got, len(want[d]))
+			}
+			for i, e := range want[d] {
+				if tc.n > 0 && s.buf[bounds[d]+i] != e {
+					t.Fatalf("n=%d bits=%d: bucket %d element %d differs", tc.n, tc.bits, d, i)
+				}
+			}
+			pos = bounds[d+1]
+		}
+		if pos != tc.n {
+			t.Fatalf("buckets cover %d of %d", pos, tc.n)
+		}
+	}
+}
+
+// TestPartitionDigitsInBuf runs two chained passes (kv -> buf -> kv) and
+// checks the second pass reads the buffer and scatters back into kv.
+func TestPartitionDigitsInBuf(t *testing.T) {
+	const n = 50_000
+	var s Sorter
+	kv := randomKV(n, 77, ^uint64(0)>>1)
+	want := refStable(kv)
+
+	bounds := make([]int, 9)
+	s.PartitionDigits(kv, 0, n, false, 61, 3, bounds, 4)
+	for d := 0; d < 8; d++ {
+		lo, hi := bounds[d], bounds[d+1]
+		sub := make([]int, 9)
+		s.PartitionDigits(kv, lo, hi, true, 58, 3, sub, 4)
+		for e := 0; e < 8; e++ {
+			s.FinishRange(kv, sub[e], sub[e+1], false)
+		}
+	}
+	for i := range kv {
+		if kv[i] != want[i] {
+			t.Fatalf("chained partitions + finish: mismatch at %d", i)
+		}
+	}
+}
+
+// TestFinishRange checks the per-range finishing sort against the stable
+// reference for both buffer parities and a spread of sizes (covering the
+// merge-sort fallback, the odd/even pass-count paths, and all-equal keys).
+func TestFinishRange(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, 4095, 4096, 30_000} {
+		for _, inBuf := range []bool{false, true} {
+			for _, mask := range []uint64{^uint64(0) >> 1, 0xffff, 0xff_ffff, 0} {
+				var s Sorter
+				kv := randomKV(n, int64(n)^int64(mask), mask)
+				want := refStable(kv)
+				s.buf = make([]KV, n)
+				if inBuf {
+					copy(s.buf, kv)
+					for i := range kv {
+						kv[i] = KV{} // the result must not depend on stale kv data
+					}
+				}
+				s.FinishRange(kv, 0, n, inBuf)
+				for i := range kv {
+					if kv[i] != want[i] {
+						t.Fatalf("n=%d inBuf=%v mask=%x: mismatch at %d: got %+v want %+v",
+							n, inBuf, mask, i, kv[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFinishRangeConcurrent finishes disjoint ranges of one Sorter from many
+// goroutines; run under -race this is the safety contract test.
+func TestFinishRangeConcurrent(t *testing.T) {
+	const n, parts = 120_000, 16
+	var s Sorter
+	kv := randomKV(n, 9, ^uint64(0)>>1)
+	// Partition first so every range shares its high digit (the contract
+	// under which FinishRange reproduces the full sort).
+	bounds := make([]int, 17)
+	s.PartitionDigits(kv, 0, n, false, 59, 4, bounds, 4)
+	want := refStable(kv)
+
+	var wg sync.WaitGroup
+	for d := 0; d < 16; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			s.FinishRange(kv, bounds[d], bounds[d+1], true)
+		}(d)
+	}
+	wg.Wait()
+	for i := range kv {
+		if kv[i] != want[i] {
+			t.Fatalf("concurrent finish: mismatch at %d", i)
+		}
+	}
+}
+
+// TestSortNoCopyBackParity covers both pass-count parities explicitly: a key
+// mask with an odd number of varying bytes and one with an even number must
+// both land the sorted result in the caller slice.
+func TestSortNoCopyBackParity(t *testing.T) {
+	for _, mask := range []uint64{0xff_ffff, 0xffff_ffff, 0xff, ^uint64(0) >> 1} {
+		for _, workers := range []int{1, 4} {
+			var s Sorter
+			kv := randomKV(20_000, int64(mask), mask)
+			want := refStable(kv)
+			s.Sort(kv, workers)
+			for i := range kv {
+				if kv[i] != want[i] {
+					t.Fatalf("mask=%x w=%d: mismatch at %d", mask, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSorterAllocFree: a warm Sorter sorts, partitions and finishes without
+// allocating, whatever the pass-count parity.
+func TestSorterAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts inflated under -race")
+	}
+	const n = 50_000
+	var s Sorter
+	kv := randomKV(n, 4, 0xff_ffff) // 3 varying bytes: odd pass count
+	bounds := make([]int, 65)
+	s.Sort(kv, 1)
+	if a := testing.AllocsPerRun(5, func() {
+		for i := range kv {
+			kv[i].Key = kv[len(kv)-1-i].Key
+		}
+		s.Sort(kv, 1)
+	}); a != 0 {
+		t.Errorf("warm Sort allocated %v, want 0", a)
+	}
+	if a := testing.AllocsPerRun(5, func() {
+		s.PartitionDigits(kv, 0, n, false, 58, 6, bounds, 1)
+		s.FinishRange(kv, bounds[0], bounds[1], true)
+	}); a != 0 {
+		t.Errorf("warm PartitionDigits+FinishRange allocated %v, want 0", a)
+	}
+}
+
+func fuzzlikeMSDCase(t *testing.T, seed int64, n int, bits int, workers int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	kv := make([]KV, n)
+	for i := range kv {
+		// Cluster keys so buckets are uneven, including empty ones.
+		kv[i] = KV{Key: uint64(rng.Intn(8)) << 60 >> uint(rng.Intn(3)*3), Idx: int32(i)}
+	}
+	want := refStable(kv)
+	var s Sorter
+	bounds := make([]int, (1<<bits)+1)
+	s.PartitionDigits(kv, 0, n, false, uint(63-bits), bits, bounds, workers)
+	for d := 0; d < 1<<bits; d++ {
+		s.FinishRange(kv, bounds[d], bounds[d+1], true)
+	}
+	for i := range kv {
+		if kv[i] != want[i] {
+			t.Fatalf("seed=%d n=%d bits=%d w=%d: mismatch at %d", seed, n, bits, workers, i)
+		}
+	}
+}
+
+// TestPartitionFinishEdge sweeps skewed key distributions (empty buckets,
+// one giant bucket, all-equal keys) through partition + finish.
+func TestPartitionFinishEdge(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		fuzzlikeMSDCase(t, seed, 10_000, 3, 1)
+		fuzzlikeMSDCase(t, seed, 10_000, 6, 4)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package psort
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package psort
+
+// raceEnabled reports whether the race detector is active; it inflates
+// goroutine bookkeeping allocations, so tight alloc bounds don't hold.
+const raceEnabled = true

@@ -35,8 +35,8 @@ func TestWalkGflopsZeroTime(t *testing.T) {
 
 func TestDeriveOther(t *testing.T) {
 	p := PhaseTimes{
-		Sort: 1 * time.Millisecond, Domain: 2 * time.Millisecond,
-		TreeBuild: 3 * time.Millisecond, TreeProps: 4 * time.Millisecond,
+		SortBuild: 4 * time.Millisecond, Domain: 2 * time.Millisecond,
+		TreeProps: 4 * time.Millisecond,
 		GravLocal: 5 * time.Millisecond, GravLET: 6 * time.Millisecond,
 		NonHiddenComm: 7 * time.Millisecond,
 		Total:         30 * time.Millisecond,
@@ -103,7 +103,7 @@ func TestTracingIntegration(t *testing.T) {
 		for _, sp := range spans {
 			seen[sp.Phase] = true
 		}
-		for _, ph := range []obs.Phase{obs.PhaseSort, obs.PhaseTreeBuild,
+		for _, ph := range []obs.Phase{obs.PhaseSortBuild,
 			obs.PhaseWalkLocal, obs.PhaseWalkDone, obs.PhaseBoundary, obs.PhaseIntegrate} {
 			if !seen[ph] {
 				t.Errorf("rank %d: no %v span", i, ph)

@@ -27,7 +27,7 @@ type rank struct {
 	cfg  *Config
 	comm *mpi.Comm
 
-	parts []body.Particle // local particles, Morton-sorted after sortLocal
+	parts []body.Particle // local particles, Morton-sorted after sortBuild
 	grid  keys.Grid
 	dec   domain.Decomposition
 
@@ -44,12 +44,14 @@ type rank struct {
 
 	// Scratch reused across steps (per-rank, single-writer): the sort's key
 	// slice and Sorter (ping-pong buffer + radix histograms), the particle
-	// reorder target, the domain phase's Hilbert keys and work weights, and
-	// the tree pipeline's cell arenas. Together these make the steady-state
-	// sort/domain-keys/tree/groups phases allocation-free.
+	// reorder target and the persistent fill callback of the fused
+	// sort+build, the domain phase's Hilbert keys and work weights, and the
+	// tree pipeline's cell arenas. Together these make the steady-state
+	// sort+build/domain-keys/groups phases allocation-free.
 	kv      []psort.KV
 	sorter  psort.Sorter
 	spare   []body.Particle
+	fill    func(lo, hi int)
 	hk      []keys.Key
 	weights []float64
 	ts      octree.BuildScratch
@@ -141,19 +143,14 @@ func (r *rank) stepForces(step, eval int, domainUpdate bool) {
 	r.stats.Times.Domain = time.Since(tD)
 	r.obs.Span(eval, obs.PhaseDomain, obs.LaneCompute, 0, tD, tD.Add(r.stats.Times.Domain), 0)
 
-	// --- Morton sort into tree order.
-	tS := time.Now()
-	r.sortLocal()
-	r.stats.Times.Sort = time.Since(tS)
-	r.obs.Span(eval, obs.PhaseSort, obs.LaneCompute, 0, tS, tS.Add(r.stats.Times.Sort), 0)
-
-	// --- Tree construction: concurrent subtree build into the rank's
+	// --- Fused Morton sort + tree construction: the MSD octant partition
+	// emits the tree top while sorting, and frontier ranges finish (sort
+	// tail, payload permute, subtree build) concurrently in the rank's
 	// reusable arenas, stitched back to the exact serial layout.
-	tT := time.Now()
-	r.tree = octree.BuildStructureScratch(&r.ts, r.mk, r.pos, r.mass, r.grid,
-		r.cfg.NLeaf, r.cfg.WorkersPerRank)
-	r.stats.Times.TreeBuild = time.Since(tT)
-	r.obs.Span(eval, obs.PhaseTreeBuild, obs.LaneCompute, 0, tT, tT.Add(r.stats.Times.TreeBuild), 0)
+	tS := time.Now()
+	r.sortBuild()
+	r.stats.Times.SortBuild = time.Since(tS)
+	r.obs.Span(eval, obs.PhaseSortBuild, obs.LaneCompute, 0, tS, tS.Add(r.stats.Times.SortBuild), 0)
 
 	// --- Tree properties (multipoles) and target groups, both multicore.
 	tP := time.Now()
@@ -182,12 +179,14 @@ func (r *rank) stepForces(step, eval int, domainUpdate bool) {
 	}
 }
 
-// sortLocal computes Morton keys and reorders r.parts (and the SoA views)
-// into key order, reusing the rank's scratch buffers. Key computation, the
-// permutation, and the SoA fill are all chunked over the rank's workers;
-// every loop writes disjoint indices, so the result is independent of the
-// worker count.
-func (r *rank) sortLocal() {
+// sortBuild computes Morton keys and runs the fused MSD sort + octree
+// construction: one octree.SortBuildScratch call sorts the keys, reorders
+// r.parts (and the SoA views) into key order, and builds the tree, all
+// through the rank's scratch buffers. The payload permute runs inside the
+// builder's fill callback, once per finished key range — from concurrent
+// workers when WorkersPerRank > 1 — with every call writing disjoint
+// indices, so the result is independent of the worker count.
+func (r *rank) sortBuild() {
 	n := len(r.parts)
 	workers := r.cfg.WorkersPerRank
 	r.kv = resize(r.kv, n)
@@ -203,7 +202,6 @@ func (r *rank) sortLocal() {
 			kv[i] = psort.KV{Key: uint64(r.grid.MortonOf(parts[i].Pos)), Idx: int32(i)}
 		}
 	}
-	r.sorter.Sort(kv, workers)
 
 	r.spare = resize(r.spare, n)
 	r.mk = resize(r.mk, n)
@@ -211,9 +209,13 @@ func (r *rank) sortLocal() {
 	r.mass = resize(r.mass, n)
 	r.acc = resize(r.acc, n)
 	r.pot = resize(r.pot, n)
-	spare := r.spare
-	if workers > 1 {
-		par.For(n, workers, func(lo, hi int) {
+	if r.fill == nil {
+		// The persistent closure keeps the steady-state path allocation
+		// free. It reads the rank's buffers at call time: during the build
+		// r.parts is still the unsorted array and r.spare the reorder
+		// target (the swap below happens after the build returns).
+		r.fill = func(lo, hi int) {
+			kv, parts, spare := r.kv, r.parts, r.spare
 			psort.Permute(kv[lo:hi], parts, spare[lo:hi])
 			for i := lo; i < hi; i++ {
 				r.mk[i] = keys.Key(kv[i].Key)
@@ -222,17 +224,10 @@ func (r *rank) sortLocal() {
 				r.acc[i] = vec.V3{}
 				r.pot[i] = 0
 			}
-		})
-	} else {
-		psort.Permute(kv, parts, spare)
-		for i := 0; i < n; i++ {
-			r.mk[i] = keys.Key(kv[i].Key)
-			r.pos[i] = spare[i].Pos
-			r.mass[i] = spare[i].Mass
-			r.acc[i] = vec.V3{}
-			r.pot[i] = 0
 		}
 	}
+	r.tree = octree.SortBuildScratch(&r.ts, &r.sorter, kv, r.mk, r.pos, r.mass,
+		r.grid, r.cfg.NLeaf, workers, r.fill)
 	r.parts, r.spare = r.spare, r.parts
 }
 
@@ -243,7 +238,9 @@ func (r *rank) sortLocal() {
 // walk with walks of already-arrived LETs so an arrived tree never waits for
 // the local walk to finish. Config.SerialLET removes all overlap — builds
 // before the walk on the compute thread, receives strictly after — as the
-// measurable baseline for the overlap benchmarks.
+// measurable baseline for the overlap benchmarks. Config.PollReceiver keeps
+// the overlap but drops the receiver goroutine: the compute thread polls the
+// mailbox between local-walk chunks instead.
 func (r *rank) gravity(step int, localBox vec.Box) {
 	p := r.comm.Size()
 	me := r.comm.Rank()
@@ -411,6 +408,62 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 				recordArrival(tR.Add(d), from, obs.LaneCompute)
 			}
 			walkRemote(msg.(*lettree.LET), from, obs.PhaseWalkLET, "received LET")
+			r.stats.LETsRecv++
+		}
+	} else if r.cfg.PollReceiver {
+		// Polled receiver: no receiver goroutine at all. The compute thread
+		// polls the mailbox (non-blocking TryRecvAny) between local-walk
+		// chunks and walks whatever has already arrived, falling back to a
+		// blocking drain only for stragglers after the local walk. Same
+		// overlap structure as the pipelined path at chunk granularity, one
+		// fewer thread per rank.
+		chunk := (len(r.groups) + 15) / 16
+		if chunk < r.cfg.WorkersPerRank {
+			chunk = r.cfg.WorkersPerRank
+		}
+		pending := r.groups
+		recvLeft := expectFrom
+		for len(pending) > 0 {
+			if recvLeft > 0 {
+				if from, msg, ok := r.comm.TryRecvAny(tag); ok {
+					if r.obs != nil {
+						recordArrival(time.Now(), from, obs.LaneCompute)
+					}
+					walkRemote(msg.(*lettree.LET), from, obs.PhaseWalkLET, "received LET")
+					recvLeft--
+					r.stats.LETsRecv++
+					r.stats.LETsOverlapped++
+					continue
+				}
+			}
+			n := chunk
+			if n > len(pending) {
+				n = len(pending)
+			}
+			tL := time.Now()
+			r.tree.WalkObs(pending[:n], r.pos, theta, eps2, r.acc, r.pot,
+				r.cfg.WorkersPerRank, &r.stats.Grav, r.met.ListLenHist())
+			d := time.Since(tL)
+			localWalk += d
+			r.obs.Span(r.eval, obs.PhaseWalkLocal, obs.LaneCompute, 0, tL, tL.Add(d), int64(n))
+			pending = pending[n:]
+		}
+		markWalkDone()
+		for _, j := range useBoundary {
+			walkRemote(boundaries[j], j, obs.PhaseWalkBound, fmt.Sprintf("boundary of %d judged sufficient but", j))
+			r.stats.BoundaryUsed++
+		}
+		for recvLeft > 0 {
+			tR := time.Now()
+			from, msg := r.comm.RecvAny(tag)
+			d := time.Since(tR)
+			waitTime += d
+			if r.obs != nil {
+				r.obs.Span(r.eval, obs.PhaseWaitLET, obs.LaneCompute, 0, tR, tR.Add(d), int64(from))
+				recordArrival(tR.Add(d), from, obs.LaneCompute)
+			}
+			walkRemote(msg.(*lettree.LET), from, obs.PhaseWalkLET, "received LET")
+			recvLeft--
 			r.stats.LETsRecv++
 		}
 	} else {

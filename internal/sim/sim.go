@@ -82,6 +82,15 @@ type Config struct {
 	// BenchmarkOverlap.
 	SerialLET bool
 
+	// PollReceiver replaces the dedicated receiver goroutine of the
+	// pipelined gravity phase with polling from the compute loop: between
+	// local-walk chunks the compute thread drains whatever LETs have
+	// already arrived (mpi.TryRecvAny) and walks them inline, falling back
+	// to a blocking drain only for stragglers after the local walk. One
+	// fewer goroutine per rank, identical results, coarser arrival
+	// latency. Ignored when SerialLET is set. Default off.
+	PollReceiver bool
+
 	// Obs, if non-nil, enables event-level tracing and metrics: every rank
 	// records phase spans and gravity-pipeline events (LET build/send/
 	// recv/walk, arrivals vs local-walk completion) into the recorder's

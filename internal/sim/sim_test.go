@@ -165,7 +165,7 @@ func TestStepStatsPopulated(t *testing.T) {
 	if st.PPPerParticle <= 0 || st.PCPerParticle <= 0 {
 		t.Error("per-particle interaction counts missing")
 	}
-	if st.Times.GravLocal <= 0 || st.Times.TreeBuild <= 0 || st.Times.Sort <= 0 {
+	if st.Times.GravLocal <= 0 || st.Times.SortBuild <= 0 {
 		t.Errorf("phase timers missing: %+v", st.Times)
 	}
 	if st.WalkGflops <= 0 || st.AppGflops <= 0 {
@@ -395,7 +395,7 @@ func TestStepProfileShape(t *testing.T) {
 	st := s.ComputeForces()
 	total := st.Times.Total.Seconds()
 	grav := (st.Times.GravLocal + st.Times.GravLET).Seconds()
-	pipeline := (st.Times.Sort + st.Times.TreeBuild + st.Times.TreeProps).Seconds()
+	pipeline := (st.Times.SortBuild + st.Times.TreeProps).Seconds()
 	if grav/total < 0.5 {
 		t.Errorf("gravity is %.0f%% of the step; Table II has ~75-80%%", 100*grav/total)
 	}

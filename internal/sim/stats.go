@@ -8,11 +8,13 @@ import (
 )
 
 // PhaseTimes is the per-step wall-clock breakdown of one rank, mirroring the
-// rows of the paper's Table II.
+// rows of the paper's Table II. The paper's separate "Sorting SFC" and
+// "Tree-construction" rows are fused into one SortBuild phase: the MSD
+// octant sort emits the tree top as a byproduct of partitioning, so the two
+// are no longer separable.
 type PhaseTimes struct {
-	Sort          time.Duration // SFC key computation + radix sort + reorder
+	SortBuild     time.Duration // fused SFC sort + octree construction
 	Domain        time.Duration // sampling decomposition + particle exchange
-	TreeBuild     time.Duration // octree construction
 	TreeProps     time.Duration // multipole computation
 	GravLocal     time.Duration // tree-walk over the local tree
 	GravLET       time.Duration // tree-walks over boundary trees and received LETs
@@ -23,9 +25,8 @@ type PhaseTimes struct {
 
 // Add accumulates another breakdown (for averaging over steps).
 func (p *PhaseTimes) Add(q PhaseTimes) {
-	p.Sort += q.Sort
+	p.SortBuild += q.SortBuild
 	p.Domain += q.Domain
-	p.TreeBuild += q.TreeBuild
 	p.TreeProps += q.TreeProps
 	p.GravLocal += q.GravLocal
 	p.GravLET += q.GravLET
@@ -37,7 +38,7 @@ func (p *PhaseTimes) Add(q PhaseTimes) {
 // Accounted returns the sum of the explicitly timed phases — every row
 // except Other and Total.
 func (p PhaseTimes) Accounted() time.Duration {
-	return p.Sort + p.Domain + p.TreeBuild + p.TreeProps +
+	return p.SortBuild + p.Domain + p.TreeProps +
 		p.GravLocal + p.GravLET + p.NonHiddenComm
 }
 
@@ -58,8 +59,8 @@ func (p PhaseTimes) Scale(n int) PhaseTimes {
 	}
 	d := time.Duration(n)
 	return PhaseTimes{
-		Sort: p.Sort / d, Domain: p.Domain / d,
-		TreeBuild: p.TreeBuild / d, TreeProps: p.TreeProps / d,
+		SortBuild: p.SortBuild / d, Domain: p.Domain / d,
+		TreeProps: p.TreeProps / d,
 		GravLocal: p.GravLocal / d, GravLET: p.GravLET / d,
 		NonHiddenComm: p.NonHiddenComm / d, Other: p.Other / d,
 		Total: p.Total / d,
@@ -152,9 +153,8 @@ func aggregate(step int, rs []RankStats) StepStats {
 		out.LETsRecv += rs[i].LETsRecv
 		out.LETsOverlapped += rs[i].LETsOverlapped
 		out.RecvIdle += rs[i].RecvIdle
-		maxDur(&out.MaxTimes.Sort, rs[i].Times.Sort)
+		maxDur(&out.MaxTimes.SortBuild, rs[i].Times.SortBuild)
 		maxDur(&out.MaxTimes.Domain, rs[i].Times.Domain)
-		maxDur(&out.MaxTimes.TreeBuild, rs[i].Times.TreeBuild)
 		maxDur(&out.MaxTimes.TreeProps, rs[i].Times.TreeProps)
 		maxDur(&out.MaxTimes.GravLocal, rs[i].Times.GravLocal)
 		maxDur(&out.MaxTimes.GravLET, rs[i].Times.GravLET)
