@@ -5,8 +5,10 @@ BENCH_JSON ?= BENCH_$(shell date +%Y-%m-%d).json
 
 # tier1 is the pre-merge gate: static checks, full build and test suite,
 # the race-detector subset covering the concurrent gravity pipeline
-# (8+ ranks, multiple walk workers), the MPI mailbox, and the parallel sort,
-# plus a short fuzz of the fused sort+build against the separate reference.
+# (8+ ranks, multiple walk workers), the MPI mailbox plus the socket
+# transports (the ./internal/mpi conformance matrix runs every transport
+# test over unix and tcp at 8 ranks), and the parallel sort, plus a short
+# fuzz of the fused sort+build against the separate reference.
 tier1: vet build test race fuzz-smoke
 
 # A 10-second fuzz of the fused MSD sort + tree construction: random clouds,
@@ -29,16 +31,19 @@ race:
 
 # Force-kernel microbenchmarks (batched SoA vs scalar per-pair, ns/inter),
 # the full 100k-particle tree-walk, the tree-pipeline phases (build /
-# properties / groups, serial vs 8 workers), and the fused MSD sort+build
-# against the separate sort-then-build path, recorded as a JSON baseline so
-# the perf trajectory of successive PRs is measurable (BENCH_<date>.json).
+# properties / groups, serial vs 8 workers), the fused MSD sort+build
+# against the separate sort-then-build path, and the MPI transports
+# (ping-pong + 8-rank allgather over chan/unix/tcp), recorded as a JSON
+# baseline so the perf trajectory of successive PRs is measurable
+# (BENCH_<date>.json).
 # -count=3 gives benchjson three samples per benchmark; compares reduce them
 # to medians so one noisy sample cannot fake (or mask) a regression.
 bench:
 	@{ $(GO) test -run XXX -bench 'BenchmarkKernels' -benchtime 300x -count=3 . ; \
 	   $(GO) test -run XXX -bench 'BenchmarkWalk100k' -benchtime 2x -count=3 ./internal/octree ; \
 	   $(GO) test -run XXX -bench 'BenchmarkTreePipeline' -benchtime 2x -count=3 ./internal/octree ; \
-	   $(GO) test -run XXX -bench 'BenchmarkSortBuildFused' -benchtime 2x -count=3 ./internal/octree ; } \
+	   $(GO) test -run XXX -bench 'BenchmarkSortBuildFused' -benchtime 2x -count=3 ./internal/octree ; \
+	   $(GO) test -run XXX -bench 'BenchmarkPingPong|BenchmarkAllgather8' -benchtime 200x -count=3 ./internal/mpi ; } \
 	  | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 
 # bench-compare guards against perf regressions: rerun the benchmarks into a

@@ -6,8 +6,10 @@ import (
 	"time"
 
 	"bonsai/internal/body"
+	"bonsai/internal/mpi"
 	"bonsai/internal/obs"
 	"bonsai/internal/sim"
+	"bonsai/internal/snapshot"
 	"bonsai/internal/units"
 	"bonsai/internal/vec"
 )
@@ -302,6 +304,139 @@ func (s *Simulation) PublishExpvar() error {
 	}
 	rec.PublishExpvar()
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// multi-process runs
+
+// World is one process's view of a fixed-size communicator universe whose
+// ranks live in separate OS processes, linked by a socket transport. It is
+// the facade over the runtime cmd/bonsai's launcher uses: each worker process
+// creates a World hosting its own rank and a NodeSimulation driving it.
+type World struct {
+	inner *mpi.World
+}
+
+// NewSocketWorld creates this process's view of a size-rank world over
+// network "tcp" or "unix". addrs holds every rank's listen address (host:port
+// or socket path) and localRanks the ranks hosted by this process. The
+// transport dials lazily with retry/backoff, so worlds may be created in any
+// order across processes.
+func NewSocketWorld(size int, network string, addrs []string, localRanks []int) (*World, error) {
+	w, err := mpi.NewSocketWorld(size, mpi.SocketConfig{
+		Network: network,
+		Addrs:   addrs,
+		Local:   localRanks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &World{inner: w}, nil
+}
+
+// Close flushes in-flight traffic and tears the transport down. Call only
+// after every expected receive has completed (end of the run).
+func (w *World) Close() error { return w.inner.Close() }
+
+// CommBytes returns the communication volume metered by this process's ranks.
+func (w *World) CommBytes() int64 { return w.inner.TotalBytes() }
+
+// NodeSimulation drives ONE rank of a distributed run — the multi-process
+// counterpart of Simulation, which hosts every rank in-process. All ranks of
+// the world must step in lockstep with identical configurations; the
+// collective structure of the pipeline keeps them synchronized.
+type NodeSimulation struct {
+	inner *sim.Node
+}
+
+// NewNodeSimulation creates the driver for one rank of a multi-process run.
+// parts is this rank's slice of the global particle set; use SliceForRank on
+// an identically generated (or restored) global set in every process.
+func NewNodeSimulation(cfg Config, w *World, rank int, parts []Particle) (*NodeSimulation, error) {
+	inner, err := sim.NewNode(sim.Config{
+		Ranks:          cfg.Ranks,
+		WorkersPerRank: cfg.WorkersPerRank,
+		Theta:          cfg.Theta,
+		Eps:            cfg.Softening,
+		DT:             cfg.DT,
+		NLeaf:          cfg.NLeaf,
+		NGroup:         cfg.NGroup,
+		BoundaryDepth:  cfg.BoundaryDepth,
+		DomainFreq:     cfg.DomainFreq,
+		G:              cfg.GravConst,
+		External:       wrapExternal(cfg.External),
+		LETWorkers:     cfg.LETWorkers,
+		SerialLET:      cfg.SerialLET,
+		PollReceiver:   cfg.PollReceiver,
+	}, w.inner, rank, toBody(parts))
+	if err != nil {
+		return nil, err
+	}
+	return &NodeSimulation{inner: inner}, nil
+}
+
+// SliceForRank cuts rank r's initial share out of a global particle set,
+// using the same even split Simulation applies at creation.
+func SliceForRank(parts []Particle, r, ranks int) []Particle {
+	lo := r * len(parts) / ranks
+	hi := (r + 1) * len(parts) / ranks
+	return parts[lo:hi]
+}
+
+// Rank returns the rank this node drives.
+func (n *NodeSimulation) Rank() int { return n.inner.Rank() }
+
+// Time returns the current simulation time (internal units; see Gyr).
+func (n *NodeSimulation) Time() float64 { return n.inner.Time() }
+
+// StepCount returns the number of completed steps.
+func (n *NodeSimulation) StepCount() int { return n.inner.StepCount() }
+
+// SetClock fast-forwards the step counter and simulation time when resuming
+// from a checkpoint, so the domain-update schedule continues where it
+// stopped instead of restarting at step 0.
+func (n *NodeSimulation) SetClock(step int, t float64) { n.inner.SetClock(step, t) }
+
+// Step advances this rank by one leapfrog step, in lockstep with every other
+// rank, and returns this rank's view of the step statistics.
+func (n *NodeSimulation) Step() StepStats {
+	rs := n.inner.Step()
+	return fromStats(sim.Aggregate(n.inner.StepCount(), []sim.RankStats{rs}))
+}
+
+// Energy returns the total kinetic and potential energy across all ranks
+// (collective: every rank must call it at the same point in its step
+// sequence).
+func (n *NodeSimulation) Energy() (kin, pot float64) { return n.inner.Energy() }
+
+// GatherParticles collects the global particle set at the root rank, sorted
+// by ID (collective). Non-root ranks receive nil.
+func (n *NodeSimulation) GatherParticles(root int) []Particle {
+	return fromBody(n.inner.GatherParticles(root))
+}
+
+// Checkpoint writes a distributed checkpoint into dir (collective): every
+// rank stores its slice, and rank 0 atomically commits the step once all
+// writes landed. A run killed at any point restarts from the newest committed
+// checkpoint via LatestCheckpoint/LoadRankCheckpoint.
+func (n *NodeSimulation) Checkpoint(dir string) error { return n.inner.Checkpoint(dir) }
+
+// LatestCheckpoint returns the newest committed checkpoint in dir: its step,
+// the rank count it was written with, and whether one exists at all.
+func LatestCheckpoint(dir string) (step int, ranks int, ok bool) {
+	s, r, ok := snapshot.LatestCkpt(dir)
+	return int(s), r, ok
+}
+
+// LoadRankCheckpoint restores one rank's particle slice from the committed
+// checkpoint at the given step, returning the simulation time it was taken
+// at.
+func LoadRankCheckpoint(dir string, step, rank int) (t float64, parts []Particle, err error) {
+	h, bp, err := snapshot.LoadRankCkpt(dir, int64(step), rank)
+	if err != nil {
+		return 0, nil, err
+	}
+	return h.Time, fromBody(bp), nil
 }
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,11 @@
 //	# resume from a snapshot and store snapshots every 50 steps
 //	bonsai -restore mw.snap -steps 500 -snap-every 50 -snap-prefix mw
 //
+//	# real multi-process run: 4 worker processes over unix sockets, with
+//	# periodic distributed checkpoints — a SIGKILLed worker is restarted
+//	# from the last checkpoint automatically
+//	bonsai -transport unix -ranks 4 -steps 100 -ckpt-every 16
+//
 // Per-step output mirrors the paper's Table II phases.
 package main
 
@@ -45,8 +50,46 @@ func main() {
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON timeline here (open in Perfetto)")
 		metricsOut = flag.String("metrics", "", "write per-step JSONL metrics here (analyze with tracestats -metrics)")
 		expvarAddr = flag.String("expvar", "", "serve live metrics on this address under /debug/vars (e.g. :6060)")
+
+		transport   = flag.String("transport", "chan", "rank transport: chan (in-process goroutines), unix or tcp (one OS process per rank)")
+		ckptEvery   = flag.Int("ckpt-every", 16, "steps between distributed checkpoints (socket transports; 0 = none)")
+		ckptDir     = flag.String("ckpt-dir", "", "checkpoint directory (default: a fresh directory under the system temp dir)")
+		portBase    = flag.Int("port-base", 28600, "tcp transport: rank r listens on 127.0.0.1:(port-base+r)")
+		maxRestarts = flag.Int("max-restarts", 3, "restarts of the worker team after a crash before giving up")
+
+		// Internal flags the launcher passes to the worker processes it forks.
+		workerRank = flag.Int("worker-rank", -1, "internal: run as the worker for this rank")
+		sockDir    = flag.String("sock-dir", "", "internal: directory holding the unix socket files")
 	)
 	flag.Parse()
+
+	switch *transport {
+	case "chan":
+		// Fall through to the in-process simulation below.
+	case "unix", "tcp":
+		lc := launchConfig{
+			transport:   *transport,
+			ranks:       *ranks,
+			steps:       *steps,
+			ckptEvery:   *ckptEvery,
+			ckptDir:     *ckptDir,
+			portBase:    *portBase,
+			maxRestarts: *maxRestarts,
+			sockDir:     *sockDir,
+			quiet:       *quiet,
+		}
+		if *workerRank >= 0 {
+			runWorker(lc, *workerRank, workerSimConfig{
+				model: *model, n: *n, seed: *seed, restore: *restore,
+				workers: *workers, theta: *theta, eps: *eps, dt: *dt,
+			})
+		} else {
+			runLauncher(lc)
+		}
+		return
+	default:
+		log.Fatalf("unknown transport %q (want chan, unix or tcp)", *transport)
+	}
 
 	var parts []bonsai.Particle
 	var startTime float64

@@ -62,19 +62,31 @@ func Allreduce[T any](c *Comm, v T, op func(a, b T) T, nbytes int) T {
 // Alltoallv sends send[r] to each rank r and returns the slices received
 // from every rank, indexed by source. elemBytes meters the per-element wire
 // size. send[c.Rank()] is delivered locally without metering.
+//
+// The returned slices never alias the caller's send buffers, on either
+// transport: the wire transport deep-copies by serializing, and here the
+// in-process path copies every outgoing slice (and the self-slice) before
+// handing it over, so callers may reuse their send buffers immediately.
 func Alltoallv[T any](c *Comm, send [][]T, elemBytes int) [][]T {
 	if len(send) != c.Size() {
 		panic("mpi: Alltoallv needs one send slice per rank")
 	}
+	wire := c.w.tr.Wire()
 	tag := c.nextCollTag()
 	for r := 0; r < c.Size(); r++ {
 		if r == c.rank {
 			continue
 		}
-		c.send(r, tag, send[r], len(send[r])*elemBytes)
+		out := send[r]
+		if !wire && out != nil {
+			out = append(make([]T, 0, len(out)), out...)
+		}
+		c.send(r, tag, out, len(send[r])*elemBytes)
 	}
 	recv := make([][]T, c.Size())
-	recv[c.rank] = send[c.rank]
+	if self := send[c.rank]; self != nil {
+		recv[c.rank] = append(make([]T, 0, len(self)), self...)
+	}
 	for r := 0; r < c.Size(); r++ {
 		if r == c.rank {
 			continue

@@ -5,11 +5,16 @@ import (
 	"testing"
 )
 
-// spawn runs fn on every rank of a fresh world and waits for completion.
-func spawn(size int, fn func(c *Comm)) *World {
-	w := NewWorld(size)
+// spawner creates a fresh world of the given size, runs fn on every rank
+// concurrently, waits for completion, and returns the (closed, for wire
+// transports) world. The same test bodies run over every transport:
+// conformance_test.go provides the socket spawners.
+type spawner func(size int, fn func(c *Comm)) *World
+
+// runWorld runs fn on every rank of w and waits for completion.
+func runWorld(w *World, fn func(c *Comm)) *World {
 	var wg sync.WaitGroup
-	for r := 0; r < size; r++ {
+	for r := 0; r < w.Size(); r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
@@ -20,8 +25,17 @@ func spawn(size int, fn func(c *Comm)) *World {
 	return w
 }
 
-func TestSendRecvBasic(t *testing.T) {
-	spawn(2, func(c *Comm) {
+// spawn is the in-process spawner.
+func spawn(size int, fn func(c *Comm)) *World {
+	return runWorld(NewWorld(size), fn)
+}
+
+// The shared transport-conformance bodies. Each pins one piece of the
+// semantics contract; TestXxx drivers below run them in-process and
+// TestTransportConformance runs the same matrix over unix and tcp sockets.
+
+func testSendRecvBasic(t *testing.T, sp spawner) {
+	sp(2, func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(1, 7, "hello", 5)
 		} else {
@@ -32,9 +46,9 @@ func TestSendRecvBasic(t *testing.T) {
 	})
 }
 
-func TestSendRecvFIFOPerPair(t *testing.T) {
+func testSendRecvFIFOPerPair(t *testing.T, sp spawner) {
 	const n = 200
-	spawn(2, func(c *Comm) {
+	sp(2, func(c *Comm) {
 		if c.Rank() == 0 {
 			for i := 0; i < n; i++ {
 				c.Send(1, 3, i, 8)
@@ -50,8 +64,8 @@ func TestSendRecvFIFOPerPair(t *testing.T) {
 	})
 }
 
-func TestRecvMatchesTagAndSource(t *testing.T) {
-	spawn(3, func(c *Comm) {
+func testRecvMatchesTagAndSource(t *testing.T, sp spawner) {
+	sp(3, func(c *Comm) {
 		switch c.Rank() {
 		case 0:
 			c.Send(2, 1, "from0tag1", 9)
@@ -73,8 +87,8 @@ func TestRecvMatchesTagAndSource(t *testing.T) {
 	})
 }
 
-func TestRecvAnyAndTryRecvAny(t *testing.T) {
-	spawn(4, func(c *Comm) {
+func testRecvAnyAndTryRecvAny(t *testing.T, sp spawner) {
+	sp(4, func(c *Comm) {
 		if c.Rank() == 0 {
 			got := map[int]bool{}
 			for i := 0; i < 3; i++ {
@@ -96,11 +110,11 @@ func TestRecvAnyAndTryRecvAny(t *testing.T) {
 	})
 }
 
-func TestBarrier(t *testing.T) {
+func testBarrier(t *testing.T, sp spawner) {
 	const size = 8
 	var counter int
 	var mu sync.Mutex
-	spawn(size, func(c *Comm) {
+	sp(size, func(c *Comm) {
 		mu.Lock()
 		counter++
 		mu.Unlock()
@@ -114,8 +128,8 @@ func TestBarrier(t *testing.T) {
 	})
 }
 
-func TestBcast(t *testing.T) {
-	spawn(5, func(c *Comm) {
+func testBcast(t *testing.T, sp spawner) {
+	sp(5, func(c *Comm) {
 		v := -1
 		if c.Rank() == 2 {
 			v = 42
@@ -126,8 +140,8 @@ func TestBcast(t *testing.T) {
 	})
 }
 
-func TestAllgather(t *testing.T) {
-	spawn(6, func(c *Comm) {
+func testAllgather(t *testing.T, sp spawner) {
+	sp(6, func(c *Comm) {
 		got := Allgather(c, c.Rank()*c.Rank(), 8)
 		for r, v := range got {
 			if v != r*r {
@@ -137,9 +151,9 @@ func TestAllgather(t *testing.T) {
 	})
 }
 
-func TestAllreduce(t *testing.T) {
+func testAllreduce(t *testing.T, sp spawner) {
 	const size = 7
-	spawn(size, func(c *Comm) {
+	sp(size, func(c *Comm) {
 		sum := Allreduce(c, c.Rank()+1, func(a, b int) int { return a + b }, 8)
 		want := size * (size + 1) / 2
 		if sum != want {
@@ -157,9 +171,9 @@ func TestAllreduce(t *testing.T) {
 	})
 }
 
-func TestAlltoallv(t *testing.T) {
+func testAlltoallv(t *testing.T, sp spawner) {
 	const size = 5
-	spawn(size, func(c *Comm) {
+	sp(size, func(c *Comm) {
 		send := make([][]int, size)
 		for r := 0; r < size; r++ {
 			// rank i sends [i, r] to rank r
@@ -174,9 +188,34 @@ func TestAlltoallv(t *testing.T) {
 	})
 }
 
-func TestCollectivesInterleavedWithP2P(t *testing.T) {
+func testAlltoallvNoAliasing(t *testing.T, sp spawner) {
+	// The results of Alltoallv must not share memory with the caller's send
+	// buffers on either transport: mutate every send slice after the call and
+	// verify the received values are unaffected (the self-slice used to alias).
+	const size = 4
+	sp(size, func(c *Comm) {
+		send := make([][]int, size)
+		for r := 0; r < size; r++ {
+			send[r] = []int{c.Rank() * 100, r}
+		}
+		recv := Alltoallv(c, send, 8)
+		c.Barrier() // every rank holds its results before anyone mutates
+		for r := range send {
+			send[r][0] = -1
+			send[r][1] = -1
+		}
+		c.Barrier() // every mutation has happened before anyone verifies
+		for r := 0; r < size; r++ {
+			if recv[r][0] != r*100 || recv[r][1] != c.Rank() {
+				t.Errorf("rank %d: recv[%d] = %v aliases the sender's buffer", c.Rank(), r, recv[r])
+			}
+		}
+	})
+}
+
+func testCollectivesInterleavedWithP2P(t *testing.T, sp spawner) {
 	// A collective must not swallow point-to-point messages with user tags.
-	spawn(3, func(c *Comm) {
+	sp(3, func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(1, 5, "payload", 7)
 		}
@@ -193,8 +232,10 @@ func TestCollectivesInterleavedWithP2P(t *testing.T) {
 	})
 }
 
-func TestByteAccounting(t *testing.T) {
-	w := spawn(2, func(c *Comm) {
+func testByteAccounting(t *testing.T, sp spawner) {
+	// BytesSent meters sender-declared sizes on every transport (PairBytes is
+	// the meter that switches to real framed bytes over a wire).
+	w := sp(2, func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(1, 1, []byte("xxxx"), 4)
 			c.Send(1, 1, []byte("yy"), 2)
@@ -218,10 +259,11 @@ func TestByteAccounting(t *testing.T) {
 	}
 }
 
-func TestManyRanksStress(t *testing.T) {
-	// 32 ranks, every rank sends to every other rank while doing collectives.
-	const size = 32
-	spawn(size, func(c *Comm) {
+func testManyRanksStress(t *testing.T, sp spawner, size int) {
+	// Every rank sends to every other rank while doing collectives. At larger
+	// sizes this is also the regression test for the mailbox scan-resume path:
+	// with quadratic rescans the all-to-all phase degrades sharply.
+	sp(size, func(c *Comm) {
 		for r := 0; r < size; r++ {
 			if r != c.Rank() {
 				c.Send(r, 11, c.Rank(), 8)
@@ -244,8 +286,8 @@ func TestManyRanksStress(t *testing.T) {
 	})
 }
 
-func TestGatherRootOnly(t *testing.T) {
-	spawn(4, func(c *Comm) {
+func testGatherRootOnly(t *testing.T, sp spawner) {
+	sp(4, func(c *Comm) {
 		got := Gather(c, 1, c.Rank()+100, 8)
 		if c.Rank() == 1 {
 			for r, v := range got {
@@ -259,43 +301,90 @@ func TestGatherRootOnly(t *testing.T) {
 	})
 }
 
-func BenchmarkAllgather8(b *testing.B) {
-	const size = 8
-	w := NewWorld(size)
-	payload := make([]byte, 4096)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var wg sync.WaitGroup
-		for r := 0; r < size; r++ {
-			wg.Add(1)
-			go func(r int) {
-				defer wg.Done()
-				Allgather(w.Comm(r), payload, len(payload))
-			}(r)
+func testConcurrentSendRecvAnyMix(t *testing.T, sp spawner) {
+	// Every rank streams tagged messages to every other rank while draining
+	// its own mailbox with a mix of RecvAny and TryRecvAny. Exercises the
+	// mailbox lock/condvar paths under -race.
+	const (
+		size = 8
+		per  = 50 // messages each rank sends to each peer
+	)
+	sp(size, func(c *Comm) {
+		go func() {
+			for i := 0; i < per; i++ {
+				for to := 0; to < size; to++ {
+					if to != c.Rank() {
+						c.Send(to, 9, c.Rank()*1000+i, 8)
+					}
+				}
+			}
+		}()
+		want := per * (size - 1)
+		got := 0
+		for got < want {
+			if _, _, ok := c.TryRecvAny(9); ok {
+				got++
+				continue
+			}
+			c.RecvAny(9)
+			got++
 		}
-		wg.Wait()
-	}
+		if _, _, ok := c.TryRecvAny(9); ok {
+			t.Errorf("rank %d: extra message beyond %d", c.Rank(), want)
+		}
+	})
 }
 
-func BenchmarkPingPong(b *testing.B) {
-	w := NewWorld(2)
-	payload := make([]byte, 1024)
-	done := make(chan struct{})
-	go func() {
-		c := w.Comm(1)
-		for i := 0; i < b.N; i++ {
-			c.Recv(0, 1)
-			c.Send(0, 2, payload, len(payload))
-		}
-		close(done)
-	}()
-	c := w.Comm(0)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Send(1, 1, payload, len(payload))
-		c.Recv(1, 2)
+// In-process drivers for the shared matrix.
+
+func TestSendRecvBasic(t *testing.T)        { testSendRecvBasic(t, spawn) }
+func TestSendRecvFIFOPerPair(t *testing.T)  { testSendRecvFIFOPerPair(t, spawn) }
+func TestRecvMatchesTagAndSource(t *testing.T) {
+	testRecvMatchesTagAndSource(t, spawn)
+}
+func TestRecvAnyAndTryRecvAny(t *testing.T) { testRecvAnyAndTryRecvAny(t, spawn) }
+func TestBarrier(t *testing.T)              { testBarrier(t, spawn) }
+func TestBcast(t *testing.T)                { testBcast(t, spawn) }
+func TestAllgather(t *testing.T)            { testAllgather(t, spawn) }
+func TestAllreduce(t *testing.T)            { testAllreduce(t, spawn) }
+func TestAlltoallv(t *testing.T)            { testAlltoallv(t, spawn) }
+func TestAlltoallvNoAliasing(t *testing.T)  { testAlltoallvNoAliasing(t, spawn) }
+func TestCollectivesInterleavedWithP2P(t *testing.T) {
+	testCollectivesInterleavedWithP2P(t, spawn)
+}
+func TestByteAccounting(t *testing.T) { testByteAccounting(t, spawn) }
+func TestManyRanksStress(t *testing.T) {
+	testManyRanksStress(t, spawn, 32)
+	if !testing.Short() {
+		testManyRanksStress(t, spawn, 64)
 	}
-	<-done
+}
+func TestGatherRootOnly(t *testing.T) { testGatherRootOnly(t, spawn) }
+func TestConcurrentSendRecvAnyMix(t *testing.T) {
+	testConcurrentSendRecvAnyMix(t, spawn)
+}
+
+func TestResetCountersClearsPairBytes(t *testing.T) {
+	// Regression: ResetCounters used to zero bytesSent/msgsSent but leave the
+	// per-pair matrix, leaking pre-reset traffic into post-reset measurements.
+	w := NewWorld(2)
+	w.EnableObs(nil)
+	c0, c1 := w.Comm(0), w.Comm(1)
+	c0.Send(1, 1, "abc", 3)
+	c1.Recv(0, 1)
+	if got := w.PairBytes(0, 1); got != 3 {
+		t.Fatalf("PairBytes(0,1) = %d, want 3", got)
+	}
+	w.ResetCounters()
+	if got := w.PairBytes(0, 1); got != 0 {
+		t.Errorf("PairBytes(0,1) = %d after ResetCounters, want 0", got)
+	}
+	// The matrix must still meter traffic after the reset.
+	c0.Send(1, 1, "defg", 4)
+	c1.Recv(0, 1)
+	if got := w.PairBytes(0, 1); got != 4 {
+		t.Errorf("PairBytes(0,1) = %d after post-reset send, want 4", got)
+	}
 }
 
 func TestDequeueClearsVacatedSlot(t *testing.T) {
@@ -336,36 +425,47 @@ func TestDequeueClearsVacatedSlot(t *testing.T) {
 	}
 }
 
-func TestConcurrentSendRecvAnyMix(t *testing.T) {
-	// Every rank streams tagged messages to every other rank while draining
-	// its own mailbox with a mix of RecvAny and TryRecvAny. Exercises the
-	// mailbox lock/condvar paths under -race.
-	const (
-		size = 8
-		per  = 50 // messages each rank sends to each peer
-	)
-	spawn(size, func(c *Comm) {
-		go func() {
-			for i := 0; i < per; i++ {
-				for to := 0; to < size; to++ {
-					if to != c.Rank() {
-						c.Send(to, 9, c.Rank()*1000+i, 8)
-					}
-				}
-			}
-		}()
-		want := per * (size - 1)
-		got := 0
-		for got < want {
-			if _, _, ok := c.TryRecvAny(9); ok {
-				got++
-				continue
-			}
-			c.RecvAny(9)
-			got++
+func TestScanResumeSkipsScannedPrefix(t *testing.T) {
+	// A blocked receiver must not rescan messages it has already rejected.
+	// Park a deep prefix of non-matching messages, block a Recv past it, then
+	// verify the resume point skips the prefix once new traffic arrives.
+	w := NewWorld(2)
+	c0 := w.Comm(0)
+	c1 := w.Comm(1)
+	const prefix = 100
+	for i := 0; i < prefix; i++ {
+		c0.Send(1, 1, i, 8)
+	}
+	done := make(chan int, 1)
+	go func() {
+		done <- c1.Recv(0, 2).(int)
+	}()
+	// Wait until the receiver has scanned the prefix and parked.
+	mb := w.mail[1]
+	for {
+		mb.mu.Lock()
+		parked := len(mb.queue) == prefix
+		mb.mu.Unlock()
+		if parked {
+			break
 		}
-		if _, _, ok := c.TryRecvAny(9); ok {
-			t.Errorf("rank %d: extra message beyond %d", c.Rank(), want)
+	}
+	c0.Send(1, 2, 777, 8)
+	if got := <-done; got != 777 {
+		t.Fatalf("Recv = %d, want 777", got)
+	}
+	mb.mu.Lock()
+	if got := mb.scanStart(mb.nextSeq); got != len(mb.queue) {
+		t.Errorf("scanStart(nextSeq) = %d, want %d (end of queue)", got, len(mb.queue))
+	}
+	if got := mb.scanStart(0); got != 0 {
+		t.Errorf("scanStart(0) = %d, want 0", got)
+	}
+	mb.mu.Unlock()
+	// The prefix is still receivable in order.
+	for i := 0; i < prefix; i++ {
+		if got := c1.Recv(0, 1).(int); got != i {
+			t.Fatalf("prefix message %d = %d", i, got)
 		}
-	})
+	}
 }

@@ -1,0 +1,44 @@
+package mpi
+
+// Transport moves point-to-point messages between ranks. The World handles
+// matching, queuing and metering; a Transport only ships a payload from the
+// sending rank to the destination rank's mailbox (via World.deliver on the
+// hosting process).
+//
+// Contract, pinned by the conformance suite in conformance_test.go:
+//
+//   - Send never blocks the caller on the receiver (eager semantics). It may
+//     enqueue to a per-link pump that performs the actual I/O.
+//   - Messages between one (from, to) pair are delivered in send order.
+//   - A wire transport (Wire() == true) deep-copies payloads by
+//     construction: the receiver's value shares no memory with the
+//     sender's. The in-process transport passes references and relies on
+//     the sender not mutating payloads after Send; collectives that hand
+//     buffers to the runtime (Alltoallv) copy explicitly so their results
+//     never alias caller memory on either transport.
+type Transport interface {
+	// Send ships (from, tag, data) toward rank `to` and returns the number
+	// of bytes the message occupies on the wire (frame header + encoded
+	// payload), or 0 when no serialization boundary was crossed.
+	Send(from, to, tag int, data any) (wireBytes int)
+	// Wire reports whether payloads cross a serialization boundary.
+	Wire() bool
+	// Close flushes queued traffic, tears down links and listeners, and
+	// joins the transport's goroutines. Idempotent.
+	Close() error
+}
+
+// chanTransport is the in-process transport: delivery is a synchronous
+// append to the destination mailbox in the same address space. Payloads move
+// by reference (zero copy), like MPI ranks sharing a node.
+type chanTransport struct {
+	w *World
+}
+
+func (t *chanTransport) Send(from, to, tag int, data any) int {
+	t.w.deliver(to, from, tag, data)
+	return 0
+}
+
+func (t *chanTransport) Wire() bool   { return false }
+func (t *chanTransport) Close() error { return nil }

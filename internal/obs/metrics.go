@@ -30,6 +30,10 @@ type Metrics struct {
 	// Imbalance is the per-evaluation load imbalance: slowest-rank step time
 	// minus the mean rank step time, ns.
 	Imbalance Hist
+	// FrameBytes is the encoded on-wire size of each outgoing frame (header
+	// plus codec payload). Empty under the in-process transport, which moves
+	// payloads by reference and produces no frames.
+	FrameBytes Hist
 }
 
 func newMetrics() Metrics {
@@ -39,6 +43,7 @@ func newMetrics() Metrics {
 		ListLen:    Hist{Name: "interaction_list_len", Unit: "count"},
 		QueueDepth: Hist{Name: "mailbox_queue_depth", Unit: "count"},
 		Imbalance:  Hist{Name: "rank_imbalance", Unit: "ns"},
+		FrameBytes: Hist{Name: "wire_frame_bytes", Unit: "bytes"},
 	}
 }
 
@@ -82,6 +87,14 @@ func (m *Metrics) ImbalanceHist() *Hist {
 	return &m.Imbalance
 }
 
+// FrameBytesHist returns the wire-frame-size histogram (nil when disabled).
+func (m *Metrics) FrameBytesHist() *Hist {
+	if m == nil {
+		return nil
+	}
+	return &m.FrameBytes
+}
+
 // Snapshot copies all histograms.
 func (m *Metrics) Snapshot() []HistSnapshot {
 	if m == nil {
@@ -89,7 +102,7 @@ func (m *Metrics) Snapshot() []HistSnapshot {
 	}
 	return []HistSnapshot{
 		m.LETArrival.Snapshot(), m.LETWalk.Snapshot(), m.ListLen.Snapshot(),
-		m.QueueDepth.Snapshot(), m.Imbalance.Snapshot(),
+		m.QueueDepth.Snapshot(), m.Imbalance.Snapshot(), m.FrameBytes.Snapshot(),
 	}
 }
 

@@ -197,6 +197,7 @@ func New(cfg Config, parts []body.Particle) (*Simulation, error) {
 	}
 	if cfg.Obs != nil {
 		s.world.EnableObs(cfg.Obs.Metrics().QueueDepthHist())
+		s.world.ObserveFrameBytes(cfg.Obs.Metrics().FrameBytesHist())
 	}
 	for r := 0; r < cfg.Ranks; r++ {
 		lo := r * len(parts) / cfg.Ranks

@@ -140,6 +140,11 @@ type StepStats struct {
 	AppGflops  float64
 }
 
+// Aggregate combines per-rank stats into a StepStats; external drivers (the
+// facade's multi-process Node runs) use it to fold the stats a rank reports
+// into the same summary shape Simulation produces.
+func Aggregate(step int, rs []RankStats) StepStats { return aggregate(step, rs) }
+
 // aggregate combines per-rank stats into a StepStats.
 func aggregate(step int, rs []RankStats) StepStats {
 	out := StepStats{Step: step, Ranks: len(rs)}

@@ -1,0 +1,114 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bonsai/internal/body"
+	"bonsai/internal/vec"
+)
+
+func ckptParts(rank int) []body.Particle {
+	return []body.Particle{
+		{Pos: vec.V3{X: float64(rank)}, Mass: 1, ID: int64(rank * 10)},
+		{Pos: vec.V3{Y: float64(rank)}, Mass: 2, ID: int64(rank*10 + 1)},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const ranks = 3
+	for r := 0; r < ranks; r++ {
+		if err := WriteRankCkpt(dir, 7, r, 0.5, ckptParts(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Not committed yet: invisible to restart.
+	if _, _, ok := LatestCkpt(dir); ok {
+		t.Fatal("uncommitted checkpoint reported as latest")
+	}
+	if err := CommitCkpt(dir, 7, ranks); err != nil {
+		t.Fatal(err)
+	}
+	step, nr, ok := LatestCkpt(dir)
+	if !ok || step != 7 || nr != ranks {
+		t.Fatalf("LatestCkpt = (%d, %d, %v), want (7, %d, true)", step, nr, ok, ranks)
+	}
+	for r := 0; r < ranks; r++ {
+		h, parts, err := LoadRankCkpt(dir, 7, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Step != 7 || h.Time != 0.5 {
+			t.Errorf("rank %d header = %+v", r, h)
+		}
+		want := ckptParts(r)
+		if len(parts) != len(want) || parts[0].ID != want[0].ID || parts[1].Pos != want[1].Pos {
+			t.Errorf("rank %d parts = %+v", r, parts)
+		}
+	}
+}
+
+func TestCommitCkptRefusesMissingRank(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteRankCkpt(dir, 3, 0, 0, ckptParts(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := CommitCkpt(dir, 3, 2); err == nil {
+		t.Fatal("CommitCkpt committed with rank 1 missing")
+	}
+}
+
+func TestLatestCkptPicksHighestCommitted(t *testing.T) {
+	dir := t.TempDir()
+	for _, step := range []int64{2, 5, 9} {
+		for r := 0; r < 2; r++ {
+			if err := WriteRankCkpt(dir, step, r, float64(step), ckptParts(r)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if step != 9 { // leave the newest uncommitted, as a kill mid-commit would
+			if err := CommitCkpt(dir, step, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	step, _, ok := LatestCkpt(dir)
+	if !ok || step != 5 {
+		t.Fatalf("LatestCkpt = (%d, %v), want (5, true)", step, ok)
+	}
+}
+
+func TestPruneCkpts(t *testing.T) {
+	dir := t.TempDir()
+	for _, step := range []int64{1, 2, 3, 4} {
+		for r := 0; r < 2; r++ {
+			if err := WriteRankCkpt(dir, step, r, 0, ckptParts(r)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if step != 3 { // an interrupted, uncommitted checkpoint in the middle
+			if err := CommitCkpt(dir, step, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := PruneCkpts(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Kept: committed steps 4 and 2. Dropped: committed 1, uncommitted 3.
+	for _, want := range []struct {
+		step  int64
+		there bool
+	}{{1, false}, {2, true}, {3, false}, {4, true}} {
+		_, err := os.Stat(filepath.Join(dir, ckptStepDir("", want.step)))
+		if got := err == nil; got != want.there {
+			t.Errorf("step %d present = %v, want %v", want.step, got, want.there)
+		}
+	}
+	step, _, ok := LatestCkpt(dir)
+	if !ok || step != 4 {
+		t.Fatalf("after prune LatestCkpt = (%d, %v), want (4, true)", step, ok)
+	}
+}
