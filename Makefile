@@ -3,33 +3,44 @@ BENCH_JSON ?= BENCH_$(shell date +%Y-%m-%d).json
 
 .PHONY: tier1 vet build test race fuzz-smoke bench bench-compare bench-overlap trace-smoke
 
-# tier1 is the pre-merge gate: static checks, full build and test suite,
+# tier1 is the pre-merge gate: static checks, full build and test suite
+# (including the noasm scalar-only configuration of the force kernels),
 # the race-detector subset covering the concurrent gravity pipeline
 # (8+ ranks, multiple walk workers), the MPI mailbox plus the socket
 # transports (the ./internal/mpi conformance matrix runs every transport
-# test over unix and tcp at 8 ranks), and the parallel sort, plus a short
-# fuzz of the fused sort+build against the separate reference.
+# test over unix and tcp at 8 ranks), and the parallel sort, plus short
+# fuzzes of the fused sort+build against the separate reference and of the
+# SIMD force kernels against the scalar reference.
 tier1: vet build test race fuzz-smoke
 
-# A 10-second fuzz of the fused MSD sort + tree construction: random clouds,
-# sizes, and worker counts must always produce cells bitwise identical to
-# the separate sort-then-build path.
+# A 10-second fuzz of the fused MSD sort + tree construction (random clouds,
+# sizes, and worker counts must produce cells bitwise identical to the
+# separate sort-then-build path), and a 10-second fuzz of the dispatched
+# AVX2 force kernels against the always-compiled scalar reference
+# (agreement to 1e-12, relative to the accumulated contribution magnitude).
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzSortBuildEquivalence -fuzztime 10s ./internal/octree
+	$(GO) test -run XXX -fuzz FuzzKernelEquivalence -fuzztime 10s ./internal/grav
 
 vet:
 	$(GO) vet ./...
 
+# The noasm build strips the assembly kernels and pins the scalar reference,
+# proving the pure-Go fallback path stays buildable and correct.
 build:
 	$(GO) build ./...
+	$(GO) build -tags noasm ./...
 
 test:
 	$(GO) test ./...
+	$(GO) test -tags noasm ./internal/grav/...
 
 race:
 	$(GO) test -race -count=1 ./internal/sim ./internal/mpi ./internal/psort ./internal/obs ./internal/octree ./internal/par
+	$(GO) test -race -tags noasm -count=1 ./internal/grav
 
-# Force-kernel microbenchmarks (batched SoA vs scalar per-pair, ns/inter),
+# Force-kernel microbenchmarks (scalar per-pair vs scalar batch vs dispatched
+# SIMD, ns/inter and Gflop/s under the §VI.A conventions),
 # the full 100k-particle tree-walk, the tree-pipeline phases (build /
 # properties / groups, serial vs 8 workers), the fused MSD sort+build
 # against the separate sort-then-build path, and the MPI transports

@@ -311,9 +311,27 @@ func BenchmarkOverlap_Polled_R32(b *testing.B)    { benchOverlap(b, 32, overlapP
 // Force-kernel microbenchmarks: the batched SoA kernels against the scalar
 // per-pair path, one warp-sized target group (64) against interaction lists
 // of the given length — the regime the tree-walk actually runs in. The
-// ns/inter metric is the per-interaction cost the walk pays.
+// ns/inter metric is the per-interaction cost the walk pays; Gflop/s uses
+// the §VI.A accounting constants (grav.FlopsPP/FlopsPC), so scalar and SIMD
+// rates are directly comparable.
+//
+// _Batch_ pins the always-compiled scalar batch reference (PPBatchScalar/
+// PCBatchScalar) to keep the historical series comparable across machines;
+// _SIMD_ goes through the dispatched entry points (AVX2+FMA where the CPU
+// supports it, otherwise the same scalar code — check the kernel_isa note).
 
 const kernelBenchTargets = 64
+
+// reportKernelRate converts a finished kernel benchmark into per-interaction
+// latency and an effective Gflop/s under the paper's flop conventions.
+func reportKernelRate(b *testing.B, listLen int, flopsPer float64) {
+	inters := float64(b.N) * float64(listLen*kernelBenchTargets)
+	secs := b.Elapsed().Seconds()
+	b.ReportMetric(secs*1e9/inters, "ns/inter")
+	if secs > 0 {
+		b.ReportMetric(inters*flopsPer/secs/1e9, "Gflop/s")
+	}
+}
 
 func kernelBenchSetup(listLen int) ([]vec.V3, *grav.Targets, []vec.V3, []float64, []grav.Multipole) {
 	rng := rand.New(rand.NewSource(42))
@@ -350,23 +368,22 @@ func benchKernelPPScalar(b *testing.B, listLen int) {
 			pot[j] += f.Pot
 		}
 	}
-	perIter := float64(listLen * kernelBenchTargets)
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*perIter), "ns/inter")
+	reportKernelRate(b, listLen, grav.FlopsPP)
 }
 
-func benchKernelPPBatch(b *testing.B, listLen int) {
-	tpos, tg, srcPos, srcM, _ := kernelBenchSetup(listLen)
+type ppBatchFn func(tx, ty, tz []float64, src *grav.PPSoA, eps2 float64, ax, ay, az, pot []float64)
+
+func benchKernelPPBatch(b *testing.B, listLen int, batch ppBatchFn) {
+	_, tg, srcPos, srcM, _ := kernelBenchSetup(listLen)
 	var src grav.PPSoA
 	for k := range srcPos {
 		src.Append(srcPos[k], srcM[k])
 	}
-	_ = tpos
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		grav.PPBatch(tg.X, tg.Y, tg.Z, &src, 1e-4, tg.AX, tg.AY, tg.AZ, tg.Pot)
+		batch(tg.X, tg.Y, tg.Z, &src, 1e-4, tg.AX, tg.AY, tg.AZ, tg.Pot)
 	}
-	perIter := float64(listLen * kernelBenchTargets)
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*perIter), "ns/inter")
+	reportKernelRate(b, listLen, grav.FlopsPP)
 }
 
 func benchKernelPCScalar(b *testing.B, listLen int) {
@@ -381,11 +398,12 @@ func benchKernelPCScalar(b *testing.B, listLen int) {
 			pot[j] += f.Pot
 		}
 	}
-	perIter := float64(listLen * kernelBenchTargets)
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*perIter), "ns/inter")
+	reportKernelRate(b, listLen, grav.FlopsPC)
 }
 
-func benchKernelPCBatch(b *testing.B, listLen int) {
+type pcBatchFn func(tx, ty, tz []float64, src *grav.PCSoA, eps2 float64, ax, ay, az, pot []float64)
+
+func benchKernelPCBatch(b *testing.B, listLen int, batch pcBatchFn) {
 	_, tg, _, _, cells := kernelBenchSetup(listLen)
 	var src grav.PCSoA
 	for k := range cells {
@@ -393,24 +411,29 @@ func benchKernelPCBatch(b *testing.B, listLen int) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		grav.PCBatch(tg.X, tg.Y, tg.Z, &src, 1e-4, tg.AX, tg.AY, tg.AZ, tg.Pot)
+		batch(tg.X, tg.Y, tg.Z, &src, 1e-4, tg.AX, tg.AY, tg.AZ, tg.Pot)
 	}
-	perIter := float64(listLen * kernelBenchTargets)
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*perIter), "ns/inter")
+	reportKernelRate(b, listLen, grav.FlopsPC)
 }
 
 func BenchmarkKernels_PP_Scalar_L64(b *testing.B)   { benchKernelPPScalar(b, 64) }
-func BenchmarkKernels_PP_Batch_L64(b *testing.B)    { benchKernelPPBatch(b, 64) }
+func BenchmarkKernels_PP_Batch_L64(b *testing.B)    { benchKernelPPBatch(b, 64, grav.PPBatchScalar) }
+func BenchmarkKernels_PP_SIMD_L64(b *testing.B)     { benchKernelPPBatch(b, 64, grav.PPBatch) }
 func BenchmarkKernels_PP_Scalar_L512(b *testing.B)  { benchKernelPPScalar(b, 512) }
-func BenchmarkKernels_PP_Batch_L512(b *testing.B)   { benchKernelPPBatch(b, 512) }
+func BenchmarkKernels_PP_Batch_L512(b *testing.B)   { benchKernelPPBatch(b, 512, grav.PPBatchScalar) }
+func BenchmarkKernels_PP_SIMD_L512(b *testing.B)    { benchKernelPPBatch(b, 512, grav.PPBatch) }
 func BenchmarkKernels_PP_Scalar_L4096(b *testing.B) { benchKernelPPScalar(b, 4096) }
-func BenchmarkKernels_PP_Batch_L4096(b *testing.B)  { benchKernelPPBatch(b, 4096) }
+func BenchmarkKernels_PP_Batch_L4096(b *testing.B)  { benchKernelPPBatch(b, 4096, grav.PPBatchScalar) }
+func BenchmarkKernels_PP_SIMD_L4096(b *testing.B)   { benchKernelPPBatch(b, 4096, grav.PPBatch) }
 func BenchmarkKernels_PC_Scalar_L64(b *testing.B)   { benchKernelPCScalar(b, 64) }
-func BenchmarkKernels_PC_Batch_L64(b *testing.B)    { benchKernelPCBatch(b, 64) }
+func BenchmarkKernels_PC_Batch_L64(b *testing.B)    { benchKernelPCBatch(b, 64, grav.PCBatchScalar) }
+func BenchmarkKernels_PC_SIMD_L64(b *testing.B)     { benchKernelPCBatch(b, 64, grav.PCBatch) }
 func BenchmarkKernels_PC_Scalar_L512(b *testing.B)  { benchKernelPCScalar(b, 512) }
-func BenchmarkKernels_PC_Batch_L512(b *testing.B)   { benchKernelPCBatch(b, 512) }
+func BenchmarkKernels_PC_Batch_L512(b *testing.B)   { benchKernelPCBatch(b, 512, grav.PCBatchScalar) }
+func BenchmarkKernels_PC_SIMD_L512(b *testing.B)    { benchKernelPCBatch(b, 512, grav.PCBatch) }
 func BenchmarkKernels_PC_Scalar_L4096(b *testing.B) { benchKernelPCScalar(b, 4096) }
-func BenchmarkKernels_PC_Batch_L4096(b *testing.B)  { benchKernelPCBatch(b, 4096) }
+func BenchmarkKernels_PC_Batch_L4096(b *testing.B)  { benchKernelPCBatch(b, 4096, grav.PCBatchScalar) }
+func BenchmarkKernels_PC_SIMD_L4096(b *testing.B)   { benchKernelPCBatch(b, 4096, grav.PCBatch) }
 
 // ---------------------------------------------------------------------------
 // §I baseline: the TreePM mesh alternative the paper argues against for

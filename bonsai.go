@@ -170,6 +170,11 @@ type StepStats struct {
 	// "GPU kernels" series of Fig. 4); AppGflops uses the full step time.
 	WalkGflops float64
 	AppGflops  float64
+
+	// KernelISA names the force-kernel instruction set the walks ran on
+	// ("avx2+fma" when the runtime dispatch selected the SIMD kernels,
+	// "scalar" otherwise).
+	KernelISA string
 }
 
 // Simulation is a running distributed N-body system.
@@ -508,5 +513,6 @@ func fromStats(st sim.StepStats) StepStats {
 		RecvIdle:       st.RecvIdle,
 		WalkGflops:     st.WalkGflops,
 		AppGflops:      st.AppGflops,
+		KernelISA:      st.KernelISA,
 	}
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, dir, name string, results []Result) string {
+	t.Helper()
+	doc := Baseline{Date: "2026-08-08", GoVersion: "go-test", GOOS: "linux", GOARCH: "amd64", Benchmarks: results}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func res(name string, nsop float64) Result {
+	return Result{Name: name, Iters: 100, Metrics: map[string]float64{"ns/op": nsop}}
+}
+
+// Benchmarks present only in the new baseline are additions — a PR adding a
+// benchmark suite (e.g. the SIMD kernel variants) must not fail the compare
+// gate just because the committed baseline predates them.
+func TestCompareNewOnlyBenchmarksAreAdditions(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBaseline(t, dir, "old.json", []Result{res("BenchmarkKernels_PP_Batch_L512", 100)})
+	new_ := writeBaseline(t, dir, "new.json", []Result{
+		res("BenchmarkKernels_PP_Batch_L512", 101),
+		res("BenchmarkKernels_PP_SIMD_L512", 40), // no old counterpart
+	})
+	if err := compareBaselines(old, new_, 25); err != nil {
+		t.Fatalf("new-only benchmark failed the compare: %v", err)
+	}
+}
+
+// Benchmarks that vanished from the new baseline are removals, also not
+// failures.
+func TestCompareRemovedBenchmarksAreNotRegressions(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBaseline(t, dir, "old.json", []Result{
+		res("BenchmarkGone", 100),
+		res("BenchmarkKept", 100),
+	})
+	new_ := writeBaseline(t, dir, "new.json", []Result{res("BenchmarkKept", 100)})
+	if err := compareBaselines(old, new_, 25); err != nil {
+		t.Fatalf("removed benchmark failed the compare: %v", err)
+	}
+}
+
+// A shared benchmark regressing beyond the threshold must still fail.
+func TestCompareSharedRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBaseline(t, dir, "old.json", []Result{res("BenchmarkShared", 100)})
+	new_ := writeBaseline(t, dir, "new.json", []Result{res("BenchmarkShared", 200)})
+	err := compareBaselines(old, new_, 25)
+	if err == nil {
+		t.Fatal("100% regression passed the 25% threshold")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkShared") {
+		t.Fatalf("regression error does not name the benchmark: %v", err)
+	}
+}
+
+// Repeated samples (go test -count=N) reduce to the median per side, so one
+// outlier sample cannot fake or mask a regression.
+func TestCompareUsesMedianOfSamples(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBaseline(t, dir, "old.json", []Result{
+		res("BenchmarkNoisy", 100), res("BenchmarkNoisy", 102), res("BenchmarkNoisy", 5000),
+	})
+	new_ := writeBaseline(t, dir, "new.json", []Result{
+		res("BenchmarkNoisy", 99), res("BenchmarkNoisy", 103), res("BenchmarkNoisy", 4000),
+	})
+	// Medians 101 vs 103: fine. Raw max-vs-min or mean would misfire.
+	if err := compareBaselines(old, new_, 25); err != nil {
+		t.Fatalf("median reduction failed: %v", err)
+	}
+}

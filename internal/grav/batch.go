@@ -7,6 +7,13 @@
 // returning Force structs, the batched layout eliminates call and struct
 // overhead per interaction, lets the compiler drop bounds checks, and streams
 // sources linearly through the cache exactly once per group.
+//
+// PPBatch and PCBatch dispatch to the fastest kernel the host supports: on
+// amd64 with AVX2+FMA an assembly kernel evaluates four float64 source lanes
+// per instruction (DESIGN.md §12); everywhere else — and always under the
+// `noasm` build tag — the scalar Go loops below run. The scalar loops are the
+// reference semantics: the SIMD path must agree with them to 1e-12 relative
+// error (FuzzKernelEquivalence) and shares their r²==0 guard.
 package grav
 
 import (
@@ -114,16 +121,77 @@ func growTo(s []float64, n int) []float64 {
 	return s[:n]
 }
 
+// The dispatched batch kernels. Scalar by default; on amd64 hosts with
+// AVX2+FMA (and without the noasm build tag) init in dispatch_amd64.go
+// repoints them at the assembly kernels. Both signatures take raw SoA slices
+// so the assembly wrappers and the scalar loops are interchangeable.
+var (
+	ppKernel  = ppBatchScalar
+	pcKernel  = pcBatchScalar
+	kernelISA = "scalar"
+)
+
+// KernelISA reports the instruction set the dispatched batch kernels run on:
+// "avx2+fma" when the assembly path is active, "scalar" for the portable Go
+// loops (non-amd64 hosts, hosts without AVX2/FMA, or the noasm build tag).
+func KernelISA() string { return kernelISA }
+
 // PPBatch evaluates every target against every gathered source particle,
 // accumulating accelerations and specific potentials into ax/ay/az/apot.
 // All target slices must share the length of tx. The per-interaction math is
 // identical to PP (Plummer softening eps2 = ε²; a source coincident with a
 // target contributes zero acceleration and -m/ε potential when eps2 > 0).
+// When eps2 == 0 a coincident source contributes nothing at all (the r² == 0
+// guard both kernel paths share), mirroring AccumulatePP's self-interaction
+// skip rather than producing Inf/NaN.
 func PPBatch(tx, ty, tz []float64, src *PPSoA, eps2 float64, ax, ay, az, apot []float64) {
-	sx := src.X
-	sy := src.Y[:len(sx)]
-	sz := src.Z[:len(sx)]
-	sm := src.M[:len(sx)]
+	n := len(tx)
+	ns := len(src.X)
+	ppKernel(tx, ty[:n], tz[:n], src.X, src.Y[:ns], src.Z[:ns], src.M[:ns],
+		eps2, ax[:n], ay[:n], az[:n], apot[:n])
+}
+
+// PCBatch evaluates every target against every gathered cell multipole with
+// quadrupole corrections, accumulating into ax/ay/az/apot. The math matches
+// PC (paper eqs. 1-2) term for term, with the same r² == 0 guard as PPBatch
+// (a cell COM exactly on an unsoftened target contributes nothing).
+func PCBatch(tx, ty, tz []float64, src *PCSoA, eps2 float64, ax, ay, az, apot []float64) {
+	n := len(tx)
+	ns := len(src.X)
+	pcKernel(tx, ty[:n], tz[:n],
+		src.X, src.Y[:ns], src.Z[:ns], src.M[:ns],
+		src.XX[:ns], src.YY[:ns], src.ZZ[:ns], src.XY[:ns], src.XZ[:ns], src.YZ[:ns],
+		eps2, ax[:n], ay[:n], az[:n], apot[:n])
+}
+
+// PPBatchScalar is the always-compiled scalar reference path of PPBatch,
+// bypassing SIMD dispatch. It is the semantic definition the assembly kernels
+// are fuzzed against, and the baseline BenchmarkKernels measures speedups
+// from.
+func PPBatchScalar(tx, ty, tz []float64, src *PPSoA, eps2 float64, ax, ay, az, apot []float64) {
+	n := len(tx)
+	ns := len(src.X)
+	ppBatchScalar(tx, ty[:n], tz[:n], src.X, src.Y[:ns], src.Z[:ns], src.M[:ns],
+		eps2, ax[:n], ay[:n], az[:n], apot[:n])
+}
+
+// PCBatchScalar is the always-compiled scalar reference path of PCBatch,
+// bypassing SIMD dispatch.
+func PCBatchScalar(tx, ty, tz []float64, src *PCSoA, eps2 float64, ax, ay, az, apot []float64) {
+	n := len(tx)
+	ns := len(src.X)
+	pcBatchScalar(tx, ty[:n], tz[:n],
+		src.X, src.Y[:ns], src.Z[:ns], src.M[:ns],
+		src.XX[:ns], src.YY[:ns], src.ZZ[:ns], src.XY[:ns], src.XZ[:ns], src.YZ[:ns],
+		eps2, ax[:n], ay[:n], az[:n], apot[:n])
+}
+
+// ppBatchScalar is the scalar p-p inner loop over raw SoA slices. The r² == 0
+// branch (possible only for an exactly coincident source with eps2 == 0, or
+// when every difference squares to zero in subnormal underflow) zeroes the
+// interaction instead of dividing by zero; the SIMD kernels implement the
+// identical guard with a compare mask.
+func ppBatchScalar(tx, ty, tz, sx, sy, sz, sm []float64, eps2 float64, ax, ay, az, apot []float64) {
 	n := len(tx)
 	ty = ty[:n]
 	tz = tz[:n]
@@ -131,6 +199,9 @@ func PPBatch(tx, ty, tz []float64, src *PPSoA, eps2 float64, ax, ay, az, apot []
 	ay = ay[:n]
 	az = az[:n]
 	apot = apot[:n]
+	sy = sy[:len(sx)]
+	sz = sz[:len(sx)]
+	sm = sm[:len(sx)]
 	for i := 0; i < n; i++ {
 		xi, yi, zi := tx[i], ty[i], tz[i]
 		var axi, ayi, azi, poti float64
@@ -139,7 +210,10 @@ func PPBatch(tx, ty, tz []float64, src *PPSoA, eps2 float64, ax, ay, az, apot []
 			dy := sy[k] - yi
 			dz := sz[k] - zi
 			r2 := dx*dx + dy*dy + dz*dz + eps2
-			rinv := 1 / math.Sqrt(r2)
+			rinv := 0.0
+			if r2 != 0 {
+				rinv = 1 / math.Sqrt(r2)
+			}
 			mr := sm[k] * rinv
 			mr3 := mr * rinv * rinv
 			axi += dx * mr3
@@ -154,20 +228,10 @@ func PPBatch(tx, ty, tz []float64, src *PPSoA, eps2 float64, ax, ay, az, apot []
 	}
 }
 
-// PCBatch evaluates every target against every gathered cell multipole with
-// quadrupole corrections, accumulating into ax/ay/az/apot. The math matches
-// PC (paper eqs. 1-2) term for term.
-func PCBatch(tx, ty, tz []float64, src *PCSoA, eps2 float64, ax, ay, az, apot []float64) {
-	cx := src.X
-	cy := src.Y[:len(cx)]
-	cz := src.Z[:len(cx)]
-	cm := src.M[:len(cx)]
-	qxx := src.XX[:len(cx)]
-	qyy := src.YY[:len(cx)]
-	qzz := src.ZZ[:len(cx)]
-	qxy := src.XY[:len(cx)]
-	qxz := src.XZ[:len(cx)]
-	qyz := src.YZ[:len(cx)]
+// pcBatchScalar is the scalar p-c inner loop over raw SoA slices, with the
+// same r² == 0 guard as ppBatchScalar.
+func pcBatchScalar(tx, ty, tz, cx, cy, cz, cm, qxx, qyy, qzz, qxy, qxz, qyz []float64,
+	eps2 float64, ax, ay, az, apot []float64) {
 	n := len(tx)
 	ty = ty[:n]
 	tz = tz[:n]
@@ -175,15 +239,28 @@ func PCBatch(tx, ty, tz []float64, src *PCSoA, eps2 float64, ax, ay, az, apot []
 	ay = ay[:n]
 	az = az[:n]
 	apot = apot[:n]
+	nc := len(cx)
+	cy = cy[:nc]
+	cz = cz[:nc]
+	cm = cm[:nc]
+	qxx = qxx[:nc]
+	qyy = qyy[:nc]
+	qzz = qzz[:nc]
+	qxy = qxy[:nc]
+	qxz = qxz[:nc]
+	qyz = qyz[:nc]
 	for i := 0; i < n; i++ {
 		xi, yi, zi := tx[i], ty[i], tz[i]
 		var axi, ayi, azi, poti float64
-		for k := 0; k < len(cx); k++ {
+		for k := 0; k < nc; k++ {
 			dx := cx[k] - xi
 			dy := cy[k] - yi
 			dz := cz[k] - zi
 			r2 := dx*dx + dy*dy + dz*dz + eps2
-			rinv := 1 / math.Sqrt(r2)
+			rinv := 0.0
+			if r2 != 0 {
+				rinv = 1 / math.Sqrt(r2)
+			}
 			rinv2 := rinv * rinv
 			rinv3 := rinv2 * rinv
 			rinv5 := rinv3 * rinv2

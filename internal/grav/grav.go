@@ -15,13 +15,24 @@ import (
 	"bonsai/internal/vec"
 )
 
-// Flop-count conventions (§VI.A).
+// Flop-count conventions (§VI.A). These are *accounting* constants, not
+// measurements: every reported flop rate in the repo — sim.StepStats
+// (Walk/App Gflops), the JSONL/expvar exporters, BenchmarkKernels — is
+// interactions × convention / wall-clock. The counts are per
+// (target, source) interaction and deliberately independent of how the
+// kernel executes (scalar loop, AVX2+FMA lanes, or the device model): an
+// FMA counts as 2, a reciprocal square root as 4, regardless of the
+// instruction that produced it. That is what makes our numbers directly
+// comparable to the paper's Table 2 / Fig. 4 and to the prior-work
+// conventions below.
 const (
-	// FlopsPP is the operation count of one particle-particle interaction:
-	// 4 sub + 3 mul + 6 fma (=12) + 1 rsqrt (=4) → 23.
+	// FlopsPP is the operation count of one particle-particle interaction
+	// (eq. 1): 4 sub + 3 mul + 6 fma (counted as 2 each = 12) +
+	// 1 rsqrt (counted as 4) → 23.
 	FlopsPP = 23
 	// FlopsPC is the operation count of one particle-cell interaction with
-	// quadrupole corrections: 4 sub + 6 add + 17 mul + 17 fma + 1 rsqrt → 65.
+	// quadrupole corrections (eq. 2): 4 sub + 6 add + 17 mul + 17 fma +
+	// 1 rsqrt → 65.
 	FlopsPC = 65
 	// FlopsPPLegacy is the conventional 38-flop count used by refs [28]-[32].
 	FlopsPPLegacy = 38

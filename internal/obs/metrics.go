@@ -124,6 +124,7 @@ type StepMetrics struct {
 	WorstArrivalMS  float64 `json:"worst_arrival_ms"` // max over ranks of last arrival minus walk end; negative = all hidden
 	WalkGflops      float64 `json:"walk_gflops"`
 	AppGflops       float64 `json:"app_gflops"`
+	KernelISA       string  `json:"kernel_isa"` // force-kernel ISA the walks ran on
 }
 
 // WriteMetricsJSONL writes the recorded per-step metrics, one JSON object per

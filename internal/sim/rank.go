@@ -71,7 +71,8 @@ type rank struct {
 }
 
 const (
-	tagLETBase = 1 << 20 // user-tag space for LET pushes, offset by step parity
+	tagLETBase      = 1 << 20        // user-tag space for LET pushes, offset by step parity
+	tagBoundaryBase = tagLETBase + 2 // boundary-tree pushes (overlap modes), offset by step parity
 )
 
 // stepForces runs the full force pipeline for one step and leaves
@@ -247,46 +248,44 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 	theta, eps2 := r.cfg.Theta, r.cfg.Eps*r.cfg.Eps
 	tag := tagLETBase + step%2
 
-	// --- Boundary tree exchange (blocking collective; not hidden).
+	// --- Boundary tree exchange. The SerialLET baseline keeps the blocking
+	// allgather, fully exposing the exchange cost. The overlap modes
+	// pipeline the exchange itself: the local boundary tree is pushed
+	// point-to-point to every peer immediately and arrivals are processed
+	// between local-walk chunks, so the exchange hides behind the walk just
+	// like the LET traffic it gates. (The SIMD force kernels shortened the
+	// walks enough that the old allgather barrier became the next exposed
+	// bottleneck.)
 	tB := time.Now()
 	myBoundary := lettree.BoundaryTree(r.tree, r.cfg.BoundaryDepth, localBox)
-	boundaries := mpi.Allgather(r.comm, myBoundary, myBoundary.WireBytes())
+	boundaries := make([]*lettree.LET, p)
+	boundaries[me] = myBoundary
+	if r.cfg.SerialLET {
+		boundaries = mpi.Allgather(r.comm, myBoundary, myBoundary.WireBytes())
+	} else {
+		btag := tagBoundaryBase + step%2
+		for j := 0; j < p; j++ {
+			if j != me {
+				r.comm.Send(j, btag, myBoundary, myBoundary.WireBytes())
+			}
+		}
+	}
 	r.stats.LETBytesSent += int64(myBoundary.WireBytes()) * int64(p-1)
 	boundaryTime := time.Since(tB)
 	r.obs.Span(r.eval, obs.PhaseBoundary, obs.LaneCompute, 0, tB, tB.Add(boundaryTime), 0)
 
-	// --- Decide, for every remote pair, whether boundary trees suffice.
-	// Both sides of each pair evaluate the same predicate on the same
-	// allgathered data, so no handshake is needed (the paper's symmetric
-	// double-check).
-	sendTo := make([]int, 0, p)   // ranks that need a full LET from us
-	expectFrom := 0               // full LETs that will arrive for us
-	useBoundary := make([]int, 0) // ranks whose boundary tree serves as LET
-	for j := 0; j < p; j++ {
-		if j == me {
-			continue
-		}
-		if !lettree.Sufficient(myBoundary, boundaries[j].Box, theta) {
-			sendTo = append(sendTo, j)
-		}
-		if lettree.Sufficient(boundaries[j], boundaries[me].Box, theta) {
-			useBoundary = append(useBoundary, j)
-		} else {
-			expectFrom++
-		}
-	}
-
 	var localWalk, letWalk, waitTime time.Duration
 	var recvIdle atomic.Int64 // nanoseconds the receiver spent blocked
 
-	// --- Builder pool: construct and push full LETs while the walks proceed
-	// on the "device". BuildFor only reads the local tree, so builders are
-	// safe alongside each other and alongside the compute walks. In the
-	// SerialLET baseline there is no communication thread at all: LETs are
-	// built and pushed on the compute thread ahead of the local walk, and
-	// that time is exactly the communication cost the pipeline would hide.
-	sentBytes := make([]int64, len(sendTo))
-	buildLET := func(k, worker int) {
+	// --- LET construction: build and push a full LET to destination j.
+	// BuildFor only reads the local tree and j's (already stored) boundary
+	// box, so builds are safe alongside each other and alongside the
+	// compute walks. In the SerialLET baseline there is no communication
+	// thread at all: LETs are built and pushed on the compute thread ahead
+	// of the local walk, and that time is exactly the communication cost
+	// the pipeline would hide.
+	sentBytes := make([]int64, p)
+	buildLET := func(j, worker int) {
 		// Under a process-wide builder budget, take one unit for the
 		// duration of the construction+push. The serial baseline skips the
 		// budget: it builds on the compute thread and must not block on
@@ -295,14 +294,13 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 			letBudget.acquire(b)
 			defer letBudget.release()
 		}
-		j := sendTo[k]
 		var tb time.Time
 		if r.obs != nil {
 			tb = time.Now()
 		}
 		let := lettree.BuildFor(r.tree, boundaries[j].Box, theta, localBox)
 		r.comm.Send(j, tag, let, let.WireBytes())
-		sentBytes[k] = int64(let.WireBytes())
+		sentBytes[j] = int64(let.WireBytes())
 		if r.obs != nil {
 			lane := obs.LaneBuilder
 			if r.cfg.SerialLET {
@@ -312,38 +310,6 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 		}
 	}
 	done := make(chan struct{})
-	if r.cfg.SerialLET {
-		tS := time.Now()
-		for k := range sendTo {
-			buildLET(k, 0)
-		}
-		waitTime += time.Since(tS)
-		close(done)
-	} else {
-		builders := r.cfg.letBuilders(len(sendTo))
-		go func() {
-			defer close(done)
-			if len(sendTo) == 0 {
-				return
-			}
-			jobs := make(chan int)
-			var wg sync.WaitGroup
-			for w := 0; w < builders; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					for k := range jobs {
-						buildLET(k, w)
-					}
-				}(w)
-			}
-			for k := range sendTo {
-				jobs <- k
-			}
-			close(jobs)
-			wg.Wait()
-		}()
-	}
 
 	walkRemote := func(l *lettree.LET, src int, ph obs.Phase, from string) {
 		tW := time.Now()
@@ -386,6 +352,37 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 	}
 
 	if r.cfg.SerialLET {
+		// --- Decide, for every remote pair, whether boundary trees
+		// suffice. Both sides of each pair evaluate the same predicate on
+		// the same allgathered data, so no handshake is needed (the
+		// paper's symmetric double-check).
+		sendTo := make([]int, 0, p)   // ranks that need a full LET from us
+		expectFrom := 0               // full LETs that will arrive for us
+		useBoundary := make([]int, 0) // ranks whose boundary tree serves as LET
+		for j := 0; j < p; j++ {
+			if j == me {
+				continue
+			}
+			if !lettree.Sufficient(myBoundary, boundaries[j].Box, theta) {
+				sendTo = append(sendTo, j)
+			}
+			if lettree.Sufficient(boundaries[j], boundaries[me].Box, theta) {
+				useBoundary = append(useBoundary, j)
+			} else {
+				expectFrom++
+			}
+		}
+
+		// Builds on the compute thread, ahead of the walk: the no-overlap
+		// baseline.
+		tS := time.Now()
+		for _, j := range sendTo {
+			buildLET(j, 0)
+		}
+		waitTime += time.Since(tS)
+		r.stats.LETsSent += len(sendTo)
+		close(done)
+
 		// Baseline ordering: full local walk, then boundary trees, then
 		// blocking receives in arrival order.
 		tL := time.Now()
@@ -410,75 +407,85 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 			walkRemote(msg.(*lettree.LET), from, obs.PhaseWalkLET, "received LET")
 			r.stats.LETsRecv++
 		}
-	} else if r.cfg.PollReceiver {
-		// Polled receiver: no receiver goroutine at all. The compute thread
-		// polls the mailbox (non-blocking TryRecvAny) between local-walk
-		// chunks and walks whatever has already arrived, falling back to a
-		// blocking drain only for stragglers after the local walk. Same
-		// overlap structure as the pipelined path at chunk granularity, one
-		// fewer thread per rank.
-		chunk := (len(r.groups) + 15) / 16
-		if chunk < r.cfg.WorkersPerRank {
-			chunk = r.cfg.WorkersPerRank
+	} else {
+		// --- Overlapped modes. Boundaries are processed the moment they
+		// arrive (between local-walk chunks): each one immediately yields
+		// the pairwise sufficiency decisions — feeding the LET-builder pool
+		// without waiting for the slowest peer — and sufficient boundary
+		// trees are banked as guaranteed work for the straggler window
+		// after the local walk. Both sides of each pair evaluate the same
+		// predicate on the same two boundary trees, so no handshake is
+		// needed (the paper's symmetric double-check).
+		btag := tagBoundaryBase + step%2
+		bLeft := p - 1  // boundaries still in flight
+		expectFrom := 0 // full LETs that will arrive for us (grows as boundaries land)
+		letsSent := 0
+		var boundaryWalks []int   // ranks whose boundary tree serves as LET
+		jobs := make(chan int, p) // full-LET destinations, fed per arrival
+		var letCount chan int     // final expectFrom for the receiver goroutine
+		if !r.cfg.PollReceiver {
+			letCount = make(chan int, 1)
 		}
-		pending := r.groups
-		recvLeft := expectFrom
-		for len(pending) > 0 {
-			if recvLeft > 0 {
-				if from, msg, ok := r.comm.TryRecvAny(tag); ok {
-					if r.obs != nil {
-						recordArrival(time.Now(), from, obs.LaneCompute)
-					}
-					walkRemote(msg.(*lettree.LET), from, obs.PhaseWalkLET, "received LET")
-					recvLeft--
-					r.stats.LETsRecv++
-					r.stats.LETsOverlapped++
-					continue
+		processBoundary := func(from int, bt *lettree.LET) {
+			boundaries[from] = bt
+			if !lettree.Sufficient(myBoundary, bt.Box, theta) {
+				letsSent++
+				jobs <- from // never blocks: cap p, at most p-1 jobs
+			}
+			if lettree.Sufficient(bt, myBoundary.Box, theta) {
+				boundaryWalks = append(boundaryWalks, from)
+			} else {
+				expectFrom++
+			}
+			if bLeft--; bLeft == 0 {
+				close(jobs)
+				if letCount != nil {
+					letCount <- expectFrom
 				}
 			}
-			n := chunk
-			if n > len(pending) {
-				n = len(pending)
+		}
+		if bLeft == 0 { // single rank: nothing will arrive
+			close(jobs)
+			if letCount != nil {
+				letCount <- 0
 			}
-			tL := time.Now()
-			r.tree.WalkObs(pending[:n], r.pos, theta, eps2, r.acc, r.pot,
-				r.cfg.WorkersPerRank, &r.stats.Grav, r.met.ListLenHist())
-			d := time.Since(tL)
-			localWalk += d
-			r.obs.Span(r.eval, obs.PhaseWalkLocal, obs.LaneCompute, 0, tL, tL.Add(d), int64(n))
-			pending = pending[n:]
 		}
-		markWalkDone()
-		for _, j := range useBoundary {
-			walkRemote(boundaries[j], j, obs.PhaseWalkBound, fmt.Sprintf("boundary of %d judged sufficient but", j))
-			r.stats.BoundaryUsed++
+
+		// Builder pool: consumes destinations as boundaries arrive, so
+		// construction starts while most peers are still walking. The
+		// boundaries[j] store in processBoundary happens-before the jobs
+		// send, so builders safely read the destination box. steal is the
+		// compute thread's private view of the queue: it is nilled out once
+		// drained (a nil channel never matches in a select), while the
+		// builders keep ranging over jobs itself.
+		steal := jobs
+		var bwg sync.WaitGroup
+		for w := 0; w < r.cfg.letBuilders(p-1); w++ {
+			bwg.Add(1)
+			go func(w int) {
+				defer bwg.Done()
+				for j := range jobs {
+					buildLET(j, w)
+				}
+			}(w)
 		}
-		for recvLeft > 0 {
-			tR := time.Now()
-			from, msg := r.comm.RecvAny(tag)
-			d := time.Since(tR)
-			waitTime += d
-			if r.obs != nil {
-				r.obs.Span(r.eval, obs.PhaseWaitLET, obs.LaneCompute, 0, tR, tR.Add(d), int64(from))
-				recordArrival(tR.Add(d), from, obs.LaneCompute)
-			}
-			walkRemote(msg.(*lettree.LET), from, obs.PhaseWalkLET, "received LET")
-			recvLeft--
-			r.stats.LETsRecv++
-		}
-	} else {
-		// Receiver goroutine: drain the mailbox as messages arrive so a LET
-		// is ready for the compute side the moment the sender pushes it. The
-		// payload carries the source rank so the compute-side walk span can
-		// name it.
+		go func() { bwg.Wait(); close(done) }()
+
+		// Receiver goroutine (pipelined mode only): drains the mailbox as
+		// messages arrive so a LET is ready for the compute side the moment
+		// the sender pushes it. It learns how many LETs to expect once the
+		// compute side has processed every boundary. The payload carries
+		// the source rank so the compute-side walk span can name it.
 		type letArrival struct {
 			let  *lettree.LET
 			from int
 		}
-		arrivals := make(chan letArrival, expectFrom)
-		if expectFrom > 0 {
+		var arrivals chan letArrival
+		if !r.cfg.PollReceiver {
+			arrivals = make(chan letArrival, p)
 			go func() {
-				for k := 0; k < expectFrom; k++ {
+				defer close(arrivals)
+				for k := <-letCount; k > 0; k-- {
 					tR := time.Now()
 					from, msg := r.comm.RecvAny(tag)
 					recvIdle.Add(int64(time.Since(tR)))
@@ -487,32 +494,60 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 						r.obs.Span(r.eval, obs.PhaseRecvWait, obs.LaneReceiver, 0, tR, now, int64(from))
 						// The append happens-before the channel send below,
 						// and the compute thread reads arrivalNS only after
-						// consuming all expectFrom sends: no race.
+						// draining the closed channel: no race.
 						recordArrival(now, from, obs.LaneReceiver)
 					}
 					arrivals <- letArrival{msg.(*lettree.LET), from}
 				}
-				close(arrivals)
 			}()
-		} else {
-			close(arrivals)
 		}
 
-		// Compute: interleave local-tree chunks with already-arrived LETs.
-		// Chunks are sized to give the pipeline regular poll points while
-		// keeping each chunk wide enough to feed the walk worker pool.
+		// Compute: interleave local-tree chunks with boundary processing
+		// and walks of already-arrived LETs. Chunks are sized to give the
+		// pipeline regular poll points while keeping each chunk wide enough
+		// to feed the walk worker pool.
 		chunk := (len(r.groups) + 15) / 16
 		if chunk < r.cfg.WorkersPerRank {
 			chunk = r.cfg.WorkersPerRank
 		}
+		letRecvd := 0
+		pollLET := func(overlapped bool) bool { // polled-receiver mode only
+			from, msg, ok := r.comm.TryRecvAny(tag)
+			if !ok {
+				return false
+			}
+			if r.obs != nil {
+				recordArrival(time.Now(), from, obs.LaneCompute)
+			}
+			walkRemote(msg.(*lettree.LET), from, obs.PhaseWalkLET, "received LET")
+			letRecvd++
+			r.stats.LETsRecv++
+			if overlapped {
+				r.stats.LETsOverlapped++
+			}
+			return true
+		}
 		pending := r.groups
-		recvLeft := expectFrom
 		for len(pending) > 0 {
-			if recvLeft > 0 {
+			if bLeft > 0 {
+				if from, msg, ok := r.comm.TryRecvAny(btag); ok {
+					processBoundary(from, msg.(*lettree.LET))
+					continue
+				}
+			}
+			if r.cfg.PollReceiver {
+				if pollLET(true) {
+					continue
+				}
+			} else {
 				select {
-				case a := <-arrivals:
+				case a, ok := <-arrivals:
+					if !ok {
+						arrivals = nil
+						break
+					}
 					walkRemote(a.let, a.from, obs.PhaseWalkLET, "received LET")
-					recvLeft--
+					letRecvd++
 					r.stats.LETsRecv++
 					r.stats.LETsOverlapped++
 					continue
@@ -532,22 +567,98 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 			pending = pending[n:]
 		}
 		markWalkDone()
-		// Local walk done: boundary trees are local data, walk them while
-		// straggler LETs are still in flight.
-		for _, j := range useBoundary {
+
+		// Boundaries that still haven't arrived gate the rest of the phase
+		// (until they land we don't know which peers owe us a LET); the
+		// blocked time is exposed boundary-exchange cost.
+		for bLeft > 0 {
+			tR := time.Now()
+			from, msg := r.comm.RecvAny(btag)
+			d := time.Since(tR)
+			boundaryTime += d
+			r.obs.Span(r.eval, obs.PhaseBoundary, obs.LaneCompute, 0, tR, tR.Add(d), int64(from))
+			processBoundary(from, msg.(*lettree.LET))
+		}
+
+		// Banked boundary trees are guaranteed-local work: walk them now,
+		// while straggler LETs are still in flight.
+		for _, j := range boundaryWalks {
 			walkRemote(boundaries[j], j, obs.PhaseWalkBound, fmt.Sprintf("boundary of %d judged sufficient but", j))
 			r.stats.BoundaryUsed++
 		}
-		for recvLeft > 0 {
-			tR := time.Now()
-			a := <-arrivals
-			d := time.Since(tR)
-			waitTime += d
-			r.obs.Span(r.eval, obs.PhaseWaitLET, obs.LaneCompute, 0, tR, tR.Add(d), int64(a.from))
-			walkRemote(a.let, a.from, obs.PhaseWalkLET, "received LET")
-			recvLeft--
-			r.stats.LETsRecv++
+
+		// Straggler drain. While blocked waiting for a remote LET the
+		// compute thread steals queued LET-build jobs from its own pool —
+		// finishing sends sooner helps the peers this rank is waiting on.
+		if r.cfg.PollReceiver {
+			for letRecvd < expectFrom {
+				if pollLET(false) {
+					continue
+				}
+				if steal != nil {
+					select {
+					case j, ok := <-steal:
+						if !ok {
+							steal = nil
+						} else {
+							buildLET(j, 0)
+						}
+						continue
+					default:
+					}
+				}
+				tR := time.Now()
+				from, msg := r.comm.RecvAny(tag)
+				d := time.Since(tR)
+				waitTime += d
+				if r.obs != nil {
+					r.obs.Span(r.eval, obs.PhaseWaitLET, obs.LaneCompute, 0, tR, tR.Add(d), int64(from))
+					recordArrival(tR.Add(d), from, obs.LaneCompute)
+				}
+				walkRemote(msg.(*lettree.LET), from, obs.PhaseWalkLET, "received LET")
+				letRecvd++
+				r.stats.LETsRecv++
+			}
+		} else {
+			for arrivals != nil {
+				tR := time.Now()
+				select {
+				case a, ok := <-arrivals:
+					if !ok {
+						arrivals = nil
+						continue
+					}
+					d := time.Since(tR)
+					waitTime += d
+					r.obs.Span(r.eval, obs.PhaseWaitLET, obs.LaneCompute, 0, tR, tR.Add(d), int64(a.from))
+					walkRemote(a.let, a.from, obs.PhaseWalkLET, "received LET")
+					letRecvd++
+					r.stats.LETsRecv++
+				case j, ok := <-steal:
+					if !ok {
+						steal = nil // nil channel: case blocks from now on
+					} else {
+						buildLET(j, 0)
+					}
+				}
+			}
 		}
+
+		// Builds still queued have no receiver to overlap with any more:
+		// run them here instead of idling in the <-done wait below.
+		for steal != nil {
+			select {
+			case j, ok := <-steal:
+				if !ok {
+					steal = nil
+				} else {
+					buildLET(j, 0)
+				}
+			default:
+				steal = nil
+			}
+		}
+		r.stats.LETsSent += letsSent
 	}
 
 	// Wait for our own sends to finish building (they overlap the walks).
@@ -556,7 +667,6 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 	dWd := time.Since(tWd)
 	waitTime += dWd
 	r.obs.Span(r.eval, obs.PhaseWaitLET, obs.LaneCompute, 0, tWd, tWd.Add(dWd), -1)
-	r.stats.LETsSent += len(sendTo)
 	for _, b := range sentBytes {
 		r.stats.LETBytesSent += b
 	}

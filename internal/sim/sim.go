@@ -309,6 +309,7 @@ func (s *Simulation) recordStepMetrics(eval int, rs []RankStats) {
 		WorstArrivalMS:  worstMS,
 		WalkGflops:      agg.WalkGflops,
 		AppGflops:       agg.AppGflops,
+		KernelISA:       agg.KernelISA,
 	})
 }
 

@@ -138,6 +138,11 @@ type StepStats struct {
 	// full step time.
 	WalkGflops float64
 	AppGflops  float64
+
+	// KernelISA names the force-kernel instruction set the walks ran on
+	// ("avx2+fma" when the runtime dispatch selected the SIMD kernels,
+	// "scalar" otherwise) so recorded rates can be attributed to a kernel.
+	KernelISA string
 }
 
 // Aggregate combines per-rank stats into a StepStats; external drivers (the
@@ -184,6 +189,7 @@ func aggregate(step int, rs []RankStats) StepStats {
 	// slowest rank's full step (the paper's own headline metric).
 	out.WalkGflops = finiteRate(out.Grav.Gflops(out.Times.GravLocal + out.Times.GravLET))
 	out.AppGflops = finiteRate(out.Grav.Gflops(out.MaxTimes.Total))
+	out.KernelISA = grav.KernelISA()
 	return out
 }
 
