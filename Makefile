@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: tier1 vet build test race fuzz-smoke bench bench-compare bench-overlap trace-smoke
+.PHONY: tier1 vet build test race fuzz-smoke bench bench-compare bench-overlap trace-smoke telemetry-smoke
 
 # tier1 is the pre-merge gate: static checks, full build and test suite
 # (including the noasm scalar-only configuration of the force kernels),
@@ -82,3 +82,20 @@ trace-smoke:
 	$(GO) run ./cmd/tracestats -metrics "$$tmp/metrics.jsonl" "$$tmp/trace.json" && \
 	$(GO) run ./cmd/snapinfo -metrics "$$tmp/metrics.jsonl" >/dev/null && \
 	echo "trace-smoke: OK"
+
+# End-to-end smoke test of the distributed telemetry plane: a 4-rank
+# multi-process unix-socket run with the launcher's collector must produce one
+# clock-aligned merged trace (all 4 rank tracks on a common timebase), a
+# combined per-rank metrics stream, and a Prometheus snapshot that parses as
+# text exposition format.
+telemetry-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/bonsai -model plummer -n 4000 -ranks 4 -steps 2 -q \
+	  -transport unix -trace "$$tmp/merged.json" -metrics "$$tmp/merged.jsonl" \
+	  -prom-snapshot "$$tmp/metrics.prom" && \
+	$(GO) run ./cmd/tracestats -metrics "$$tmp/merged.jsonl" \
+	  -prom "$$tmp/metrics.prom" "$$tmp/merged.json" | tee "$$tmp/report.txt" && \
+	grep -q 'trace: 4 ranks' "$$tmp/report.txt" && \
+	grep -q 'cross-rank start skew' "$$tmp/report.txt" && \
+	grep -q 'format ok' "$$tmp/report.txt" && \
+	echo "telemetry-smoke: OK"

@@ -3,11 +3,14 @@ package bonsai
 import (
 	"errors"
 	"io"
+	"net"
 	"time"
 
 	"bonsai/internal/body"
+	"bonsai/internal/grav"
 	"bonsai/internal/mpi"
 	"bonsai/internal/obs"
+	"bonsai/internal/obs/telemetry"
 	"bonsai/internal/sim"
 	"bonsai/internal/snapshot"
 	"bonsai/internal/units"
@@ -300,8 +303,8 @@ func (s *Simulation) WriteMetricsJSONL(w io.Writer) error {
 
 // PublishExpvar exposes the live metric histograms through the expvar
 // variable "bonsai.obs" (serve with net/http's /debug/vars). Requires
-// Config.Tracing; safe to call at most once per process image, repeated
-// calls are no-ops.
+// Config.Tracing; safe to call repeatedly, and a later simulation's call
+// repoints the variable at its own recorder.
 func (s *Simulation) PublishExpvar() error {
 	rec := s.inner.Obs()
 	if rec == nil {
@@ -357,7 +360,17 @@ type NodeSimulation struct {
 // NewNodeSimulation creates the driver for one rank of a multi-process run.
 // parts is this rank's slice of the global particle set; use SliceForRank on
 // an identically generated (or restored) global set in every process.
+//
+// With Config.Tracing set, the node records its own rank's spans, per-step
+// metrics, and communication histograms — the state ServeTelemetry exposes
+// for the launcher's collector to merge across processes.
 func NewNodeSimulation(cfg Config, w *World, rank int, parts []Particle) (*NodeSimulation, error) {
+	var rec *obs.Recorder
+	if cfg.Tracing {
+		rec = obs.New(w.inner.Size(), 0)
+		w.inner.EnableObs(rec.Metrics().QueueDepthHist())
+		w.inner.ObserveFrameBytes(rec.Metrics().FrameBytesHist())
+	}
 	inner, err := sim.NewNode(sim.Config{
 		Ranks:          cfg.Ranks,
 		WorkersPerRank: cfg.WorkersPerRank,
@@ -373,6 +386,7 @@ func NewNodeSimulation(cfg Config, w *World, rank int, parts []Particle) (*NodeS
 		LETWorkers:     cfg.LETWorkers,
 		SerialLET:      cfg.SerialLET,
 		PollReceiver:   cfg.PollReceiver,
+		Obs:            rec,
 	}, w.inner, rank, toBody(parts))
 	if err != nil {
 		return nil, err
@@ -425,6 +439,77 @@ func (n *NodeSimulation) GatherParticles(root int) []Particle {
 // writes landed. A run killed at any point restarts from the newest committed
 // checkpoint via LatestCheckpoint/LoadRankCheckpoint.
 func (n *NodeSimulation) Checkpoint(dir string) error { return n.inner.Checkpoint(dir) }
+
+// WriteChromeTrace exports this rank's recorded span timeline as Chrome
+// trace-event JSON. For the all-rank merged view use the launcher's
+// telemetry collector instead. Requires Config.Tracing.
+func (n *NodeSimulation) WriteChromeTrace(w io.Writer) error {
+	rec := n.inner.Obs()
+	if rec == nil {
+		return ErrTracingDisabled
+	}
+	return rec.WriteChromeTrace(w)
+}
+
+// WriteMetricsJSONL exports this rank's per-evaluation metric records.
+// Requires Config.Tracing.
+func (n *NodeSimulation) WriteMetricsJSONL(w io.Writer) error {
+	rec := n.inner.Obs()
+	if rec == nil {
+		return ErrTracingDisabled
+	}
+	return rec.WriteMetricsJSONL(w)
+}
+
+// PublishExpvar exposes this rank's live metric histograms through the
+// expvar variable "bonsai.obs". Requires Config.Tracing.
+func (n *NodeSimulation) PublishExpvar() error {
+	rec := n.inner.Obs()
+	if rec == nil {
+		return ErrTracingDisabled
+	}
+	rec.PublishExpvar()
+	return nil
+}
+
+// NodeTelemetry is a worker's live telemetry endpoint: spans, step metrics,
+// histograms, Prometheus gauges, expvar, and pprof served over HTTP, plus
+// the end-of-run gate the launcher's collector releases after its final
+// scrape.
+type NodeTelemetry struct {
+	inner *telemetry.Server
+}
+
+// ServeTelemetry starts serving this rank's telemetry on the listener (owned
+// by the endpoint from here on). Requires Config.Tracing.
+func (n *NodeSimulation) ServeTelemetry(ln net.Listener) (*NodeTelemetry, error) {
+	rec := n.inner.Obs()
+	if rec == nil {
+		return nil, ErrTracingDisabled
+	}
+	srv := telemetry.Serve(ln, telemetry.ServerConfig{
+		Rec:       rec,
+		Rank:      n.inner.Rank(),
+		Ranks:     n.inner.Ranks(),
+		KernelISA: grav.KernelISA(),
+		PairBytes: n.inner.PairBytes,
+	})
+	return &NodeTelemetry{inner: srv}, nil
+}
+
+// MarkDone flags the simulation as finished so the collector can take its
+// final scrape; call it after the last step (and any final collective).
+func (t *NodeTelemetry) MarkDone() { t.inner.MarkDone() }
+
+// WaitShutdown blocks until the collector has scraped the final state and
+// released this worker, or the timeout passes (so a dead collector cannot
+// wedge the worker). Reports whether the release arrived in time.
+func (t *NodeTelemetry) WaitShutdown(timeout time.Duration) bool {
+	return t.inner.WaitShutdown(timeout)
+}
+
+// Close stops the telemetry endpoint.
+func (t *NodeTelemetry) Close() error { return t.inner.Close() }
 
 // LatestCheckpoint returns the newest committed checkpoint in dir: its step,
 // the rank count it was written with, and whether one exists at all.

@@ -22,6 +22,15 @@ type launchConfig struct {
 	maxRestarts int
 	sockDir     string
 	quiet       bool
+
+	// Telemetry plane: any of the output paths (or the live endpoint) turns
+	// on worker tracing plus the launcher-side collector that merges it.
+	tracePath     string
+	metricsOut    string
+	expvarAddr    string
+	promSnapshot  string
+	stragglerMult float64
+	telePortBase  int
 }
 
 // rankAddrs returns the listen address of every rank: deterministic, so the
@@ -68,6 +77,13 @@ func runLauncher(lc launchConfig) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if lc.telemetryOn() && lc.expvarAddr != "" {
+		addr, err := serveLauncherHTTP(lc.expvarAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("live metrics: http://%s/metrics (expvar /debug/vars, pprof /debug/pprof)\n", addr)
+	}
 
 	for attempt := 0; ; attempt++ {
 		ok, failure := runTeam(self, lc)
@@ -84,7 +100,14 @@ func runLauncher(lc launchConfig) {
 
 // runTeam starts all workers once and waits. Returns ok when every worker
 // exits cleanly; otherwise kills the survivors and reports the first failure.
+// With telemetry on, a collector runs alongside the team: workers hold their
+// exit until it has scraped their final state, so a clean team exit implies
+// the collector finished too.
 func runTeam(self string, lc launchConfig) (ok bool, failure string) {
+	var col *collectorHandle
+	if lc.telemetryOn() {
+		col = startCollector(lc)
+	}
 	cmds := make([]*exec.Cmd, lc.ranks)
 	type exitMsg struct {
 		rank int
@@ -134,7 +157,17 @@ func runTeam(self string, lc launchConfig) (ok bool, failure string) {
 		for drained := clean + 1; drained < lc.ranks; drained++ {
 			<-exits
 		}
+		if col != nil {
+			col.abort()
+		}
 		return false, fmt.Sprintf("rank %d: %v", m.rank, m.err)
+	}
+	if col != nil {
+		// The telemetry outputs were requested explicitly: failing to produce
+		// them is an error, not something to drop silently.
+		if err := col.finish(lc); err != nil {
+			log.Fatal(err)
+		}
 	}
 	return true, ""
 }

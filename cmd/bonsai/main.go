@@ -47,9 +47,13 @@ func main() {
 		snapEvery  = flag.Int("snap-every", 0, "snapshot interval in steps (0 = none)")
 		snapPrefix = flag.String("snap-prefix", "snap", "snapshot filename prefix")
 		quiet      = flag.Bool("q", false, "suppress per-step output")
-		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON timeline here (open in Perfetto)")
+		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON timeline here (open in Perfetto); with a socket transport this is the clock-aligned merge of all worker processes")
 		metricsOut = flag.String("metrics", "", "write per-step JSONL metrics here (analyze with tracestats -metrics)")
-		expvarAddr = flag.String("expvar", "", "serve live metrics on this address under /debug/vars (e.g. :6060)")
+		expvarAddr = flag.String("expvar", "", "serve live metrics on this address (e.g. :6060): /debug/vars, and with a socket transport also Prometheus /metrics and pprof")
+
+		promSnapshot  = flag.String("prom-snapshot", "", "socket transports: write a final Prometheus text-format snapshot here")
+		stragglerMult = flag.Float64("straggler-mult", 2.0, "socket transports: alert when a rank's step time exceeds this multiple of the cross-rank median")
+		telePortBase  = flag.Int("tele-port-base", 29600, "tcp transport: rank r serves telemetry on 127.0.0.1:(tele-port-base+r)")
 
 		transport   = flag.String("transport", "chan", "rank transport: chan (in-process goroutines), unix or tcp (one OS process per rank)")
 		ckptEvery   = flag.Int("ckpt-every", 16, "steps between distributed checkpoints (socket transports; 0 = none)")
@@ -77,6 +81,13 @@ func main() {
 			maxRestarts: *maxRestarts,
 			sockDir:     *sockDir,
 			quiet:       *quiet,
+
+			tracePath:     *tracePath,
+			metricsOut:    *metricsOut,
+			expvarAddr:    *expvarAddr,
+			promSnapshot:  *promSnapshot,
+			stragglerMult: *stragglerMult,
+			telePortBase:  *telePortBase,
 		}
 		if *workerRank >= 0 {
 			runWorker(lc, *workerRank, workerSimConfig{
@@ -89,6 +100,9 @@ func main() {
 		return
 	default:
 		log.Fatalf("unknown transport %q (want chan, unix or tcp)", *transport)
+	}
+	if *promSnapshot != "" {
+		log.Fatal("-prom-snapshot requires -transport unix or tcp (the launcher's collector writes it)")
 	}
 
 	var parts []bonsai.Particle

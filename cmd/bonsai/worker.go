@@ -3,7 +3,10 @@ package main
 import (
 	"fmt"
 	"log"
+	"net"
+	"os"
 	"runtime"
+	"time"
 
 	"bonsai"
 )
@@ -79,6 +82,7 @@ func runWorker(lc launchConfig, rank int, wc workerSimConfig) {
 		Softening:      wc.eps,
 		DT:             wc.dt,
 		GravConst:      gconst,
+		Tracing:        lc.telemetryOn(),
 	}
 
 	// State precedence: a committed checkpoint of this run beats everything
@@ -100,6 +104,23 @@ func runWorker(lc launchConfig, rank int, wc workerSimConfig) {
 	n, err := bonsai.NewNodeSimulation(cfg, w, rank, parts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// With telemetry on, serve this rank's recorder state for the launcher's
+	// collector: spans, step metrics, histograms, pair bytes, pprof.
+	var tele *bonsai.NodeTelemetry
+	if lc.telemetryOn() {
+		addr := lc.teleAddrs()[rank]
+		if lc.transport == "unix" {
+			os.Remove(addr) // a restarted worker must replace its stale socket
+		}
+		ln, err := net.Listen(lc.transport, addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if tele, err = n.ServeTelemetry(ln); err != nil {
+			log.Fatal(err)
+		}
+		n.PublishExpvar() //nolint:errcheck // tracing is on
 	}
 	if ckptStep > 0 {
 		n.SetClock(ckptStep, ckptTime)
@@ -140,6 +161,16 @@ func runWorker(lc launchConfig, rank int, wc workerSimConfig) {
 	if rank == 0 {
 		fmt.Printf("done: t=%.4f Gyr, E=%.5e K=%.4e W=%.4e, comm(rank0)=%.1f MB\n",
 			startTime+bonsai.Gyr(n.Time()), k+p, k, p, float64(w.CommBytes())/1e6)
+	}
+	if tele != nil {
+		// Hold the process (and its span buffers) until the collector has
+		// taken its final scrape; the timeout keeps a dead collector from
+		// wedging the worker forever.
+		tele.MarkDone()
+		if !tele.WaitShutdown(90 * time.Second) {
+			log.Print("telemetry: collector never released the shutdown gate; exiting anyway")
+		}
+		tele.Close()
 	}
 	if err := w.Close(); err != nil {
 		log.Fatal(err)

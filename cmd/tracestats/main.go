@@ -1,16 +1,23 @@
 // Command tracestats analyzes the observability artifacts a traced bonsai
-// run writes: a Chrome trace-event timeline (bonsai -trace) and/or a
-// per-step JSONL metrics stream (bonsai -metrics). It prints the paper's
-// Fig. 5-style overlap report: per evaluation, which rank finished its
-// local walk last (the straggler), and for every rank how many full LETs
-// arrived before vs after its local walk completed — arrivals before
-// completion are communication fully hidden behind compute.
+// run writes: Chrome trace-event timelines (bonsai -trace), a per-step JSONL
+// metrics stream (bonsai -metrics), and Prometheus text snapshots (bonsai
+// -prom-snapshot). It prints the paper's Fig. 5-style overlap report: per
+// evaluation, which rank finished its local walk last (the straggler), and
+// for every rank how many full LETs arrived before vs after its local walk
+// completed — arrivals before completion are communication fully hidden
+// behind compute.
+//
+// Several trace files are analyzed as ONE combined timeline (each worker's
+// single-rank trace contributes its own process track), and multi-rank input
+// additionally reports the cross-rank start skew — on a clock-aligned merged
+// trace this bounds the residual misalignment.
 //
 // Examples:
 //
 //	bonsai -ranks 4 -steps 2 -trace step.json -metrics step.jsonl
 //	tracestats step.json
-//	tracestats -metrics step.jsonl
+//	tracestats rank0.json rank1.json rank2.json rank3.json
+//	tracestats -metrics step.jsonl -prom metrics.prom merged.json
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"os"
 
 	"bonsai/internal/obs"
+	"bonsai/internal/obs/telemetry"
 )
 
 func main() {
@@ -27,29 +35,29 @@ func main() {
 	log.SetPrefix("tracestats: ")
 
 	metricsPath := flag.String("metrics", "", "per-step JSONL metrics file (from bonsai -metrics)")
+	promPath := flag.String("prom", "", "Prometheus text-format snapshot to validate and summarize (from bonsai -prom-snapshot)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: tracestats [-metrics metrics.jsonl] [trace.json]\n")
+			"usage: tracestats [-metrics metrics.jsonl] [-prom metrics.prom] [trace.json ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	if flag.NArg() == 0 && *metricsPath == "" {
+	if flag.NArg() == 0 && *metricsPath == "" && *promPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	for _, path := range flag.Args() {
-		f, err := os.Open(path)
+	if flag.NArg() > 0 {
+		events, err := readTraces(flag.Args())
 		if err != nil {
 			log.Fatal(err)
 		}
-		events, err := obs.ParseChromeTrace(f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("%s: %v", path, err)
+		if flag.NArg() == 1 {
+			fmt.Printf("== %s ==\n", flag.Arg(0))
+		} else {
+			fmt.Printf("== %d trace files, combined ==\n", flag.NArg())
 		}
-		fmt.Printf("== %s ==\n", path)
 		obs.AnalyzeTrace(events).Format(os.Stdout)
 	}
 
@@ -66,4 +74,38 @@ func main() {
 		fmt.Printf("== %s ==\n", *metricsPath)
 		obs.FormatMetricsSummary(os.Stdout, steps)
 	}
+
+	if *promPath != "" {
+		f, err := os.Open(*promPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		samples, err := telemetry.ParseProm(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", *promPath, err)
+		}
+		fmt.Printf("== %s ==\nprometheus exposition: %d samples, format ok\n", *promPath, len(samples))
+	}
+}
+
+// readTraces parses every trace file and concatenates their event lists into
+// one combined timeline: per-rank traces from a multi-process run analyze
+// exactly like the launcher's merged trace (each file's events keep their own
+// pid = rank track).
+func readTraces(paths []string) ([]obs.TraceEvent, error) {
+	var events []obs.TraceEvent
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		evs, err := obs.ParseChromeTrace(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		events = append(events, evs...)
+	}
+	return events, nil
 }

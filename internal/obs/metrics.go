@@ -6,8 +6,10 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Metrics is the fixed set of named histograms the tree-code records. All
@@ -107,9 +109,14 @@ func (m *Metrics) Snapshot() []HistSnapshot {
 }
 
 // StepMetrics is one line of the per-step JSONL metrics stream: the overlap
-// and straggler summary of one force evaluation across all ranks.
+// and straggler summary of one force evaluation. An in-process Simulation
+// emits one aggregated record per evaluation (Rank 0, Ranks = world size,
+// mean/max over ranks); a multi-process Node emits one per-rank record per
+// evaluation (Rank = the reporting rank, Mean == Max == that rank's step
+// time), and the telemetry collector merges the per-rank streams.
 type StepMetrics struct {
 	Step            int     `json:"step"` // force-evaluation sequence number
+	Rank            int     `json:"rank"` // reporting rank (per-rank node records)
 	Ranks           int     `json:"ranks"`
 	N               int     `json:"n"`
 	MeanStepMS      float64 `json:"mean_step_ms"`
@@ -125,14 +132,32 @@ type StepMetrics struct {
 	WalkGflops      float64 `json:"walk_gflops"`
 	AppGflops       float64 `json:"app_gflops"`
 	KernelISA       string  `json:"kernel_isa"` // force-kernel ISA the walks ran on
+
+	// Phase breakdown of the evaluation in milliseconds (Table II rows):
+	// the rank's own times in per-rank records, the mean across ranks in
+	// aggregated ones. The Prometheus exposition derives its per-phase
+	// gauges from these.
+	SortBuildMS float64 `json:"sort_build_ms,omitempty"`
+	DomainMS    float64 `json:"domain_ms,omitempty"`
+	TreePropsMS float64 `json:"tree_props_ms,omitempty"`
+	GravLocalMS float64 `json:"grav_local_ms,omitempty"`
+	GravLETMS   float64 `json:"grav_let_ms,omitempty"`
+	OtherMS     float64 `json:"other_ms,omitempty"`
 }
 
 // WriteMetricsJSONL writes the recorded per-step metrics, one JSON object per
 // line.
 func (r *Recorder) WriteMetricsJSONL(w io.Writer) error {
+	return WriteStepMetricsJSONL(w, r.Steps())
+}
+
+// WriteStepMetricsJSONL writes any step-metrics list, one JSON object per
+// line — the same stream WriteMetricsJSONL produces, for callers (the
+// telemetry collector) that merge records from several recorders.
+func WriteStepMetricsJSONL(w io.Writer, steps []StepMetrics) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, m := range r.Steps() {
+	for _, m := range steps {
 		if err := enc.Encode(m); err != nil {
 			return err
 		}
@@ -141,43 +166,140 @@ func (r *Recorder) WriteMetricsJSONL(w io.Writer) error {
 }
 
 // ReadMetricsJSONL parses a per-step JSONL metrics stream.
+//
+// A truncated final line — the artifact a SIGKILLed worker leaves mid-write —
+// is not an error: the complete prefix is returned. Only a malformed line
+// that was fully written (newline-terminated) reports corruption.
 func ReadMetricsJSONL(r io.Reader) ([]StepMetrics, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
 	var out []StepMetrics
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+	for lineNo := 1; ; lineNo++ {
+		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return out, err
 		}
-		var m StepMetrics
-		if err := json.Unmarshal([]byte(line), &m); err != nil {
-			return nil, fmt.Errorf("obs: bad metrics line %d: %w", len(out)+1, err)
+		terminated := err == nil
+		if s := strings.TrimSpace(line); s != "" {
+			var m StepMetrics
+			if uerr := json.Unmarshal([]byte(s), &m); uerr != nil {
+				if !terminated {
+					return out, nil // mid-write tail: keep the complete prefix
+				}
+				return nil, fmt.Errorf("obs: bad metrics line %d: %w", lineNo, uerr)
+			}
+			out = append(out, m)
 		}
-		out = append(out, m)
+		if !terminated {
+			return out, nil
+		}
 	}
-	return out, sc.Err()
 }
 
-var expvarOnce sync.Once
+// MergeStepMetrics folds per-rank step records (one per (evaluation, rank),
+// as a multi-process run's merged stream contains) into one aggregated record
+// per evaluation: mean/max step time over the ranks, the straggler identified
+// by rank, traffic summed. Records already aggregated (a step appearing once)
+// pass through unchanged. Output is ordered by step.
+func MergeStepMetrics(steps []StepMetrics) []StepMetrics {
+	byStep := map[int][]StepMetrics{}
+	for _, m := range steps {
+		byStep[m.Step] = append(byStep[m.Step], m)
+	}
+	ids := make([]int, 0, len(byStep))
+	for s := range byStep {
+		ids = append(ids, s)
+	}
+	sort.Ints(ids)
+	out := make([]StepMetrics, 0, len(ids))
+	for _, s := range ids {
+		group := byStep[s]
+		if len(group) == 1 {
+			out = append(out, group[0])
+			continue
+		}
+		agg := StepMetrics{Step: s, Ranks: len(group), KernelISA: group[0].KernelISA}
+		worstArr := 0.0
+		for _, m := range group {
+			agg.N += m.N
+			agg.MeanStepMS += m.MaxStepMS
+			if m.MaxStepMS > agg.MaxStepMS {
+				agg.MaxStepMS = m.MaxStepMS
+				agg.Straggler = m.Rank
+			}
+			agg.NonHiddenCommMS += m.NonHiddenCommMS
+			agg.LETsRecv += m.LETsRecv
+			agg.LETsOverlapped += m.LETsOverlapped
+			if m.ArrivalsSeen > 0 {
+				if agg.ArrivalsSeen == 0 || m.WorstArrivalMS > worstArr {
+					worstArr = m.WorstArrivalMS
+				}
+				agg.ArrivalsSeen += m.ArrivalsSeen
+			}
+			agg.WalkGflops += m.WalkGflops
+			agg.SortBuildMS += m.SortBuildMS
+			agg.DomainMS += m.DomainMS
+			agg.TreePropsMS += m.TreePropsMS
+			agg.GravLocalMS += m.GravLocalMS
+			agg.GravLETMS += m.GravLETMS
+			agg.OtherMS += m.OtherMS
+		}
+		n := float64(len(group))
+		agg.MeanStepMS /= n
+		agg.NonHiddenCommMS /= n
+		agg.SortBuildMS /= n
+		agg.DomainMS /= n
+		agg.TreePropsMS /= n
+		agg.GravLocalMS /= n
+		agg.GravLETMS /= n
+		agg.OtherMS /= n
+		agg.WorstArrivalMS = worstArr
+		if agg.MeanStepMS > 0 {
+			agg.ImbalancePct = (agg.MaxStepMS/agg.MeanStepMS - 1) * 100
+		}
+		if agg.LETsRecv > 0 {
+			agg.OverlapFrac = float64(agg.LETsOverlapped) / float64(agg.LETsRecv)
+		}
+		// Aggregate throughput: ranks walk concurrently, so the combined walk
+		// rate is the sum of per-rank rates; the application rate re-derives
+		// from the slowest rank's wall-clock via the mean-rate identity.
+		if agg.MaxStepMS > 0 {
+			sumApp := 0.0
+			for _, m := range group {
+				sumApp += m.AppGflops * m.MaxStepMS
+			}
+			agg.AppGflops = sumApp / agg.MaxStepMS
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+var (
+	expvarOnce sync.Once
+	expvarRec  atomic.Pointer[Recorder]
+)
 
 // PublishExpvar registers the recorder under the expvar name "bonsai.obs":
 // the histogram snapshots plus the latest step metrics, served live on
 // /debug/vars by any process that mounts the expvar handler. Safe to call
-// more than once; only the first recorder is published per process (expvar
-// panics on duplicate names).
+// any number of times: the expvar name is registered once per process
+// (expvar panics on duplicate names) and backed by an atomic recorder
+// pointer, so the latest published recorder is always the one served — a
+// second simulation in the same process replaces the first, now-dead one.
 func (r *Recorder) PublishExpvar() {
 	if r == nil {
 		return
 	}
+	expvarRec.Store(r)
 	expvarOnce.Do(func() {
 		expvar.Publish("bonsai.obs", expvar.Func(func() any {
-			steps := r.Steps()
+			rec := expvarRec.Load()
+			steps := rec.Steps()
 			v := struct {
 				Histograms []HistSnapshot `json:"histograms"`
 				Steps      int            `json:"steps"`
 				Last       *StepMetrics   `json:"last,omitempty"`
-			}{Histograms: r.Metrics().Snapshot(), Steps: len(steps)}
+			}{Histograms: rec.Metrics().Snapshot(), Steps: len(steps)}
 			if len(steps) > 0 {
 				v.Last = &steps[len(steps)-1]
 			}

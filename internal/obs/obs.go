@@ -146,6 +146,17 @@ func New(ranks, spanCap int) *Recorder {
 // Enabled reports whether the recorder records (false for nil).
 func (r *Recorder) Enabled() bool { return r != nil }
 
+// Now returns nanoseconds elapsed since the recorder epoch (0 for nil) — the
+// recorder-local timebase every span timestamp lives on. Cross-process trace
+// merging estimates per-recorder clock offsets by round-trip pings against
+// this value (the telemetry collector's /clock probe).
+func (r *Recorder) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.epoch).Nanoseconds()
+}
+
 // Ranks returns the number of rank buffers (0 for nil).
 func (r *Recorder) Ranks() int {
 	if r == nil {

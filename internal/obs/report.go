@@ -12,6 +12,7 @@ import (
 // relative to that, and how long the rank was busy in total.
 type RankStepReport struct {
 	Rank       int
+	StartUS    float64   // first event start timestamp, µs (trace timebase)
 	BusyUS     float64   // last event end minus first event start, µs
 	WalkEndUS  float64   // local-walk completion timestamp, µs (NaN if absent)
 	ArrivalsUS []float64 // full-LET arrival offsets vs WalkEndUS, µs (negative = hidden)
@@ -21,11 +22,12 @@ type RankStepReport struct {
 
 // StepReport aggregates one force evaluation across ranks.
 type StepReport struct {
-	Step      int
-	Ranks     []RankStepReport
-	Straggler int     // rank with the largest BusyUS
-	MeanBusy  float64 // µs
-	MaxBusy   float64 // µs
+	Step        int
+	Ranks       []RankStepReport
+	Straggler   int     // rank with the largest BusyUS
+	MeanBusy    float64 // µs
+	MaxBusy     float64 // µs
+	StartSkewUS float64 // max minus min of the ranks' first-event starts, µs
 }
 
 // TraceReport is the full Fig. 5-style analysis of a trace.
@@ -33,6 +35,10 @@ type TraceReport struct {
 	NumRanks int
 	Spans    int
 	Steps    []StepReport
+	// MaxStartSkewUS is the largest per-evaluation start skew across the run:
+	// on a merged multi-process trace this bounds the residual cross-rank
+	// clock misalignment plus genuine start jitter.
+	MaxStartSkewUS float64
 }
 
 // AnalyzeTrace rebuilds the straggler/overlap analysis from exported trace
@@ -104,12 +110,15 @@ func AnalyzeTrace(events []TraceEvent) TraceReport {
 
 	for _, s := range stepIDs {
 		sr := StepReport{Step: s, Straggler: -1}
+		startLo, startHi := math.Inf(1), math.Inf(-1)
 		for _, r := range rankIDs {
 			a := cells[key{s, r}]
 			if a == nil || !a.any {
 				continue
 			}
-			rr := RankStepReport{Rank: r, BusyUS: a.last - a.first, WalkEndUS: a.walkEnd}
+			rr := RankStepReport{Rank: r, StartUS: a.first, BusyUS: a.last - a.first, WalkEndUS: a.walkEnd}
+			startLo = math.Min(startLo, a.first)
+			startHi = math.Max(startHi, a.first)
 			for _, ts := range a.arrivals {
 				off := ts - a.walkEnd
 				if math.IsNaN(a.walkEnd) {
@@ -131,6 +140,12 @@ func AnalyzeTrace(events []TraceEvent) TraceReport {
 		}
 		if len(sr.Ranks) > 0 {
 			sr.MeanBusy /= float64(len(sr.Ranks))
+		}
+		if len(sr.Ranks) > 1 {
+			sr.StartSkewUS = startHi - startLo
+			if sr.StartSkewUS > rep.MaxStartSkewUS {
+				rep.MaxStartSkewUS = sr.StartSkewUS
+			}
 		}
 		rep.Steps = append(rep.Steps, sr)
 	}
@@ -158,6 +173,9 @@ func argInt(args map[string]any, name string) (int, bool) {
 func (rep TraceReport) Format(w io.Writer) {
 	fmt.Fprintf(w, "trace: %d ranks, %d evaluations, %d events\n",
 		rep.NumRanks, len(rep.Steps), rep.Spans)
+	if rep.NumRanks > 1 {
+		fmt.Fprintf(w, "cross-rank start skew: max %.3f ms over the run\n", rep.MaxStartSkewUS/1e3)
+	}
 	var all Hist
 	all.Name = "LET arrival offset vs local-walk completion"
 	all.Unit = "ns"
@@ -193,11 +211,14 @@ func (rep TraceReport) Format(w io.Writer) {
 
 // FormatMetricsSummary prints the per-step JSONL metrics stream as the same
 // overlap/straggler table: one line per force evaluation plus run totals.
+// Per-rank streams (a merged multi-process run's JSONL, several records per
+// step) are folded into one aggregated record per evaluation first.
 func FormatMetricsSummary(w io.Writer, steps []StepMetrics) {
 	if len(steps) == 0 {
 		fmt.Fprintln(w, "metrics: no step records")
 		return
 	}
+	steps = MergeStepMetrics(steps)
 	fmt.Fprintf(w, "metrics: %d evaluations, %d ranks\n", len(steps), steps[0].Ranks)
 	fmt.Fprintf(w, "%5s %10s %10s %7s %10s %8s %7s %14s %10s\n",
 		"step", "mean ms", "max ms", "imb%", "straggler", "overlap", "LETs", "worst arr ms", "nonhid ms")

@@ -8,6 +8,7 @@ import (
 
 	"bonsai/internal/body"
 	"bonsai/internal/domain"
+	"bonsai/internal/grav"
 	"bonsai/internal/mpi"
 	"bonsai/internal/obs"
 	"bonsai/internal/snapshot"
@@ -42,6 +43,9 @@ func NewNode(cfg Config, w *mpi.World, rankID int, parts []body.Particle) (*Node
 	cfg = cfg.withDefaults()
 	if cfg.Ranks != w.Size() {
 		return nil, fmt.Errorf("sim: config has %d ranks, world has %d", cfg.Ranks, w.Size())
+	}
+	if cfg.Obs != nil && cfg.Obs.Ranks() != cfg.Ranks {
+		return nil, fmt.Errorf("sim: recorder has %d rank buffers, world has %d", cfg.Obs.Ranks(), cfg.Ranks)
 	}
 	for i := range parts {
 		if !parts[i].Pos.IsFinite() || !parts[i].Vel.IsFinite() ||
@@ -79,6 +83,19 @@ func SliceForRank(parts []body.Particle, r, ranks int) []body.Particle {
 // Rank returns the rank this node drives.
 func (n *Node) Rank() int { return n.comm.Rank() }
 
+// Ranks returns the world size.
+func (n *Node) Ranks() int { return n.comm.Size() }
+
+// Obs returns the node's tracing recorder (nil when tracing is disabled) —
+// the state a worker's telemetry endpoint serves.
+func (n *Node) Obs() *obs.Recorder { return n.cfg.Obs }
+
+// PairBytes returns the cumulative wire bytes this rank has sent to rank
+// `to` (0 when the transport does not track traffic).
+func (n *Node) PairBytes(to int) int64 {
+	return n.comm.World().PairBytes(n.comm.Rank(), to)
+}
+
 // Time returns the current simulation time.
 func (n *Node) Time() float64 { return n.time }
 
@@ -103,7 +120,52 @@ func (n *Node) forces(domainUpdate bool) RankStats {
 	eval := n.evals
 	n.evals++
 	n.r.stepForces(n.step, eval, domainUpdate)
+	n.recordStepMetrics(eval, n.r.stats)
 	return n.r.stats
+}
+
+// recordStepMetrics appends this rank's view of one force evaluation to the
+// tracing recorder's metrics stream. Unlike Simulation's aggregated record, a
+// Node only knows its own times: Mean == Max == this rank's step time and
+// Straggler names itself; the telemetry collector (or MergeStepMetrics) folds
+// the per-rank streams into the cross-rank aggregate. No-op when tracing is
+// disabled.
+func (n *Node) recordStepMetrics(eval int, rs RankStats) {
+	rec := n.cfg.Obs
+	if rec == nil {
+		return
+	}
+	t := rs.Times
+	ms := func(d time.Duration) float64 { return d.Seconds() * 1e3 }
+	m := obs.StepMetrics{
+		Step:            eval,
+		Rank:            n.comm.Rank(),
+		Ranks:           n.comm.Size(),
+		N:               len(n.r.parts),
+		MeanStepMS:      ms(t.Total),
+		MaxStepMS:       ms(t.Total),
+		Straggler:       n.comm.Rank(),
+		NonHiddenCommMS: ms(t.NonHiddenComm),
+		LETsRecv:        rs.LETsRecv,
+		LETsOverlapped:  rs.LETsOverlapped,
+		ArrivalsSeen:    rs.ArrivalsSeen,
+		WalkGflops:      rs.WalkGflops(),
+		AppGflops:       finiteRate(rs.Grav.Gflops(t.Total)),
+		KernelISA:       grav.KernelISA(),
+		SortBuildMS:     ms(t.SortBuild),
+		DomainMS:        ms(t.Domain),
+		TreePropsMS:     ms(t.TreeProps),
+		GravLocalMS:     ms(t.GravLocal),
+		GravLETMS:       ms(t.GravLET),
+		OtherMS:         ms(t.Other),
+	}
+	if rs.LETsRecv > 0 {
+		m.OverlapFrac = float64(rs.LETsOverlapped) / float64(rs.LETsRecv)
+	}
+	if rs.ArrivalsSeen > 0 {
+		m.WorstArrivalMS = float64(rs.WorstArrival) / 1e6
+	}
+	rec.AddStep(m)
 }
 
 // Step advances this rank by one leapfrog step, in lockstep with every other

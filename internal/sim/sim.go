@@ -310,6 +310,12 @@ func (s *Simulation) recordStepMetrics(eval int, rs []RankStats) {
 		WalkGflops:      agg.WalkGflops,
 		AppGflops:       agg.AppGflops,
 		KernelISA:       agg.KernelISA,
+		SortBuildMS:     agg.Times.SortBuild.Seconds() * 1e3,
+		DomainMS:        agg.Times.Domain.Seconds() * 1e3,
+		TreePropsMS:     agg.Times.TreeProps.Seconds() * 1e3,
+		GravLocalMS:     agg.Times.GravLocal.Seconds() * 1e3,
+		GravLETMS:       agg.Times.GravLET.Seconds() * 1e3,
+		OtherMS:         agg.Times.Other.Seconds() * 1e3,
 	})
 }
 
