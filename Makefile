@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: tier1 vet build test race fuzz-smoke bench bench-compare bench-overlap trace-smoke telemetry-smoke
+.PHONY: tier1 vet build test race fuzz-smoke bench bench-compare bench-overlap trace-smoke telemetry-smoke block-smoke
 
 # tier1 is the pre-merge gate: static checks, full build and test suite
 # (including the noasm scalar-only configuration of the force kernels),
@@ -15,12 +15,16 @@ tier1: vet build test race fuzz-smoke
 
 # A 10-second fuzz of the fused MSD sort + tree construction (random clouds,
 # sizes, and worker counts must produce cells bitwise identical to the
-# separate sort-then-build path), and a 10-second fuzz of the dispatched
+# separate sort-then-build path), a 10-second fuzz of the dispatched
 # AVX2 force kernels against the always-compiled scalar reference
-# (agreement to 1e-12, relative to the accumulated contribution magnitude).
+# (agreement to 1e-12, relative to the accumulated contribution magnitude),
+# and a 10-second fuzz of the MaxRungs=0 block-timestep integrator against
+# the global-dt leapfrog (bitwise-identical trajectories over random
+# Plummer models and step counts).
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzSortBuildEquivalence -fuzztime 10s ./internal/octree
 	$(GO) test -run XXX -fuzz FuzzKernelEquivalence -fuzztime 10s ./internal/grav
+	$(GO) test -run XXX -fuzz FuzzBlockEquivalence -fuzztime 10s ./internal/sim
 
 vet:
 	$(GO) vet ./...
@@ -41,20 +45,24 @@ race:
 
 # Force-kernel microbenchmarks (scalar per-pair vs scalar batch vs dispatched
 # SIMD, ns/inter and Gflop/s under the §VI.A conventions),
-# the full 100k-particle tree-walk, the tree-pipeline phases (build /
-# properties / groups, serial vs 8 workers), the fused MSD sort+build
-# against the separate sort-then-build path, and the MPI transports
-# (ping-pong + 8-rank allgather over chan/unix/tcp), recorded as a JSON
-# baseline so the perf trajectory of successive PRs is measurable
+# the full 100k-particle tree-walk, the walk's traversal/gather/kernel cost
+# split, the tree-pipeline phases (build / properties / groups, serial vs 8
+# workers), the fused MSD sort+build against the separate sort-then-build
+# path, the MPI transports (ping-pong + 8-rank allgather over chan/unix/tcp),
+# and the block-timestep integrator against its finest-rung global-dt
+# equivalent (wall-clock per simulated time + energy drift), recorded as a
+# JSON baseline so the perf trajectory of successive PRs is measurable
 # (BENCH_<date>.json).
 # -count=3 gives benchjson three samples per benchmark; compares reduce them
 # to medians so one noisy sample cannot fake (or mask) a regression.
 bench:
 	@{ $(GO) test -run XXX -bench 'BenchmarkKernels' -benchtime 300x -count=3 . ; \
 	   $(GO) test -run XXX -bench 'BenchmarkWalk100k' -benchtime 2x -count=3 ./internal/octree ; \
+	   $(GO) test -run XXX -bench 'BenchmarkWalkGather' -benchtime 2x -count=3 ./internal/octree ; \
 	   $(GO) test -run XXX -bench 'BenchmarkTreePipeline' -benchtime 2x -count=3 ./internal/octree ; \
 	   $(GO) test -run XXX -bench 'BenchmarkSortBuildFused' -benchtime 2x -count=3 ./internal/octree ; \
-	   $(GO) test -run XXX -bench 'BenchmarkPingPong|BenchmarkAllgather8' -benchtime 200x -count=3 ./internal/mpi ; } \
+	   $(GO) test -run XXX -bench 'BenchmarkPingPong|BenchmarkAllgather8' -benchtime 200x -count=3 ./internal/mpi ; \
+	   $(GO) test -run XXX -bench 'BenchmarkBlockSteps' -benchtime 1x -count=3 . ; } \
 	  | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 
 # bench-compare guards against perf regressions: rerun the benchmarks into a
@@ -99,3 +107,23 @@ telemetry-smoke:
 	grep -q 'cross-rank start skew' "$$tmp/report.txt" && \
 	grep -q 'format ok' "$$tmp/report.txt" && \
 	echo "telemetry-smoke: OK"
+
+# End-to-end smoke test of the block-timestep path: a 4-rank multi-process
+# unix-socket run with -block-steps must emit substep spans into the merged
+# trace and active-fraction metrics into the merged JSONL, and its energy must
+# stay conserved (first-vs-last step drift under 0.5%).
+block-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/bonsai -model plummer -n 4000 -ranks 4 -steps 4 \
+	  -block-steps -max-rungs 3 -transport unix \
+	  -trace "$$tmp/merged.json" -metrics "$$tmp/merged.jsonl" \
+	  | tee "$$tmp/run.txt" && \
+	grep -q '"substep"' "$$tmp/merged.json" && \
+	grep -q 'active_frac' "$$tmp/merged.jsonl" && \
+	grep -q 'rung_pop' "$$tmp/merged.jsonl" && \
+	awk '{for(i=1;i<=NF;i++) if($$i ~ /^E=/) E[++n]=substr($$i,3)} \
+	  END { if (n < 2) { print "block-smoke: no energy samples"; exit 1 } \
+	        d=(E[n]-E[1])/E[1]; if (d<0) d=-d; \
+	        printf "block-smoke: energy drift %.2e over %d samples\n", d, n; \
+	        exit (d < 5e-3 ? 0 : 1) }' "$$tmp/run.txt" && \
+	echo "block-smoke: OK"

@@ -468,3 +468,73 @@ func BenchmarkBaselinePM_TreeWalk(b *testing.B) {
 		tr.Walk(groups, tr.Pos, 0.4, 1e-4, acc, pot, 0, nil)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Block timesteps: wall-clock per unit of simulated time on a centrally
+// concentrated model, block-timestep hierarchy vs a global dt resolving the
+// same finest timestep everywhere. The two variants advance the same total
+// simulated time per iteration, so their ns/op are directly comparable; each
+// also reports its relative energy drift, which must stay matched for the
+// speedup to count.
+
+func benchBlockSteps(b *testing.B, block bool) {
+	const (
+		n       = 10_000
+		topDT   = 4e-3
+		rungs   = 4
+		simTime = 8 * topDT
+	)
+	parts := fromBody(ic.Plummer(n, 1.0, 0.1, 1.0, 9))
+	cfg := Config{
+		Ranks: 2, WorkersPerRank: 2, Theta: 0.4, Softening: 0.01, GravConst: 1,
+	}
+	if block {
+		cfg.DT = topDT
+		cfg.BlockSteps = true
+		cfg.MaxRungs = rungs
+		cfg.EtaDT = 0.055
+	} else {
+		// Global dt matching the hierarchy's finest rung.
+		cfg.DT = topDT / float64(int(1)<<rungs)
+	}
+	steps := int(simTime/cfg.DT + 0.5)
+
+	// Initial energy, measured once outside the timed loop.
+	ref, err := New(cfg, parts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref.ComputeForces()
+	k0, p0 := ref.Energy()
+	e0 := k0 + p0
+
+	var dE, activeFrac float64
+	var substeps int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(cfg, parts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		substeps, activeFrac = 0, 0
+		for j := 0; j < steps; j++ {
+			st := s.Step()
+			substeps += st.Substeps
+			activeFrac += st.ActiveFrac
+		}
+		k, p := s.Energy()
+		dE = (k + p - e0) / e0
+		if dE < 0 {
+			dE = -dE
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/simTime, "ns/simtime")
+	b.ReportMetric(dE, "dE/E")
+	if block {
+		b.ReportMetric(float64(substeps)/float64(steps), "substeps/step")
+		b.ReportMetric(activeFrac/float64(steps)*100, "active%")
+	}
+}
+
+func BenchmarkBlockSteps_Global(b *testing.B) { benchBlockSteps(b, false) }
+func BenchmarkBlockSteps_Rungs(b *testing.B)  { benchBlockSteps(b, true) }

@@ -32,12 +32,16 @@ type Vec3 struct {
 }
 
 // Particle is one N-body particle: position (kpc), velocity (km/s), mass
-// (1e10 M⊙) and a stable identity.
+// (1e10 M⊙) and a stable identity. Rung is the particle's timestep level
+// under Config.BlockSteps (dt = DT/2^Rung); it is carried through snapshots
+// and checkpoints so block-timestep runs restart with their hierarchy intact,
+// and ignored otherwise.
 type Particle struct {
 	Pos  Vec3
 	Vel  Vec3
 	Mass float64
 	ID   int64
+	Rung uint8
 }
 
 // Config configures a simulation. Zero values select the paper's defaults
@@ -67,6 +71,18 @@ type Config struct {
 	// DomainFreq is the number of steps between domain re-decompositions.
 	// Default 4.
 	DomainFreq int
+
+	// BlockSteps enables hierarchical power-of-two block timesteps: each
+	// particle integrates on its own rung dt = DT/2^k (k ≤ MaxRungs) chosen
+	// from its acceleration, and only the active rung-block receives forces
+	// at each substep while the rest drift. With MaxRungs 0 the block
+	// integrator reduces bitwise to the global-dt leapfrog.
+	BlockSteps bool
+	// MaxRungs caps the timestep hierarchy depth (0–16). Default 0.
+	MaxRungs int
+	// EtaDT is the accuracy parameter of the timestep criterion
+	// dt_i = EtaDT·sqrt(Softening/|a_i|). Default 0.1.
+	EtaDT float64
 
 	// GravConst is the gravitational constant of the particle set's unit
 	// system. Default 1 (model units, as NewPlummer produces). Milky Way
@@ -178,6 +194,16 @@ type StepStats struct {
 	// ("avx2+fma" when the runtime dispatch selected the SIMD kernels,
 	// "scalar" otherwise).
 	KernelISA string
+
+	// Block-timestep accounting (zero unless Config.BlockSteps with
+	// MaxRungs > 0): Substeps counts force evaluations inside the step,
+	// Rebuilds how many of them rebuilt the tree from scratch (the rest
+	// reused the Morton order and refreshed multipoles in place), and
+	// ActiveFrac is the mean fraction of particles receiving forces per
+	// substep.
+	Substeps   int
+	Rebuilds   int
+	ActiveFrac float64
 }
 
 // Simulation is a running distributed N-body system.
@@ -205,6 +231,9 @@ func New(cfg Config, parts []Particle) (*Simulation, error) {
 		NGroup:         cfg.NGroup,
 		BoundaryDepth:  cfg.BoundaryDepth,
 		DomainFreq:     cfg.DomainFreq,
+		BlockSteps:     cfg.BlockSteps,
+		MaxRungs:       cfg.MaxRungs,
+		EtaDT:          cfg.EtaDT,
 		G:              cfg.GravConst,
 		External:       wrapExternal(cfg.External),
 		LETWorkers:     cfg.LETWorkers,
@@ -274,6 +303,22 @@ func (s *Simulation) Owners() []int { return s.inner.Owners() }
 
 // CommBytes returns the cumulative metered communication volume.
 func (s *Simulation) CommBytes() int64 { return s.inner.World().TotalBytes() }
+
+// Substep returns the position inside the current block-timestep hierarchy:
+// 0 at a top-of-step barrier, otherwise the index (in units of the finest
+// substep) of the last completed mid-step barrier. Always 0 without
+// Config.BlockSteps.
+func (s *Simulation) Substep() int { return s.inner.Substep() }
+
+// RestoreSubstep resumes a block-timestep run from a snapshot taken at a
+// mid-step barrier: the particles' saved rungs are kept (instead of being
+// re-assigned from fresh accelerations) and the next Step call first finishes
+// the interrupted step from the given barrier. Requires Config.BlockSteps.
+func (s *Simulation) RestoreSubstep(sub int) error { return s.inner.RestoreSubstep(sub) }
+
+// SetClock fast-forwards the step counter and simulation time when resuming
+// from a snapshot, so the domain-update schedule continues where it stopped.
+func (s *Simulation) SetClock(step int, t float64) { s.inner.SetClock(step, t) }
 
 // ErrTracingDisabled is returned by the trace exporters when the simulation
 // was created without Config.Tracing.
@@ -381,6 +426,9 @@ func NewNodeSimulation(cfg Config, w *World, rank int, parts []Particle) (*NodeS
 		NGroup:         cfg.NGroup,
 		BoundaryDepth:  cfg.BoundaryDepth,
 		DomainFreq:     cfg.DomainFreq,
+		BlockSteps:     cfg.BlockSteps,
+		MaxRungs:       cfg.MaxRungs,
+		EtaDT:          cfg.EtaDT,
 		G:              cfg.GravConst,
 		External:       wrapExternal(cfg.External),
 		LETWorkers:     cfg.LETWorkers,
@@ -416,11 +464,23 @@ func (n *NodeSimulation) StepCount() int { return n.inner.StepCount() }
 // stopped instead of restarting at step 0.
 func (n *NodeSimulation) SetClock(step int, t float64) { n.inner.SetClock(step, t) }
 
+// Substep reports the node's position inside the current block-timestep
+// hierarchy (0 at a top-of-step barrier). Always 0 without Config.BlockSteps.
+func (n *NodeSimulation) Substep() int { return n.inner.Substep() }
+
+// RestoreSubstep resumes a block-timestep run from checkpointed state: the
+// particles' saved rungs are kept instead of being re-assigned (collective —
+// every rank must restore the same barrier). Checkpoints are taken at
+// top-of-step barriers, so restarts pass 0 to preserve rung continuity.
+func (n *NodeSimulation) RestoreSubstep(sub int) error { return n.inner.RestoreSubstep(sub) }
+
 // Step advances this rank by one leapfrog step, in lockstep with every other
 // rank, and returns this rank's view of the step statistics.
 func (n *NodeSimulation) Step() StepStats {
 	rs := n.inner.Step()
-	return fromStats(sim.Aggregate(n.inner.StepCount(), []sim.RankStats{rs}))
+	st := sim.Aggregate(n.inner.StepCount(), []sim.RankStats{rs})
+	st.Substeps, st.Rebuilds, st.ActiveFrac = n.inner.BlockSummary()
+	return fromStats(st)
 }
 
 // Energy returns the total kinetic and potential energy across all ranks
@@ -550,6 +610,7 @@ func toBody(parts []Particle) []body.Particle {
 			Vel:  vec.V3{X: p.Vel.X, Y: p.Vel.Y, Z: p.Vel.Z},
 			Mass: p.Mass,
 			ID:   p.ID,
+			Rung: p.Rung,
 		}
 	}
 	return out
@@ -563,6 +624,7 @@ func fromBody(parts []body.Particle) []Particle {
 			Vel:  Vec3{p.Vel.X, p.Vel.Y, p.Vel.Z},
 			Mass: p.Mass,
 			ID:   p.ID,
+			Rung: p.Rung,
 		}
 	}
 	return out
@@ -599,5 +661,8 @@ func fromStats(st sim.StepStats) StepStats {
 		WalkGflops:     st.WalkGflops,
 		AppGflops:      st.AppGflops,
 		KernelISA:      st.KernelISA,
+		Substeps:       st.Substeps,
+		Rebuilds:       st.Rebuilds,
+		ActiveFrac:     st.ActiveFrac,
 	}
 }

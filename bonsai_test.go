@@ -248,3 +248,80 @@ func TestStaticHaloPublicAPI(t *testing.T) {
 		t.Errorf("energy bookkeeping with external field: K=%v W=%v", kin, potE)
 	}
 }
+
+func TestBlockStepsPublicAPI(t *testing.T) {
+	parts := NewPlummer(2000, 1, 0.1, 1, 9)
+	s, err := New(Config{
+		Ranks: 2, Softening: 0.01, DT: 4e-3, Theta: 0.4,
+		BlockSteps: true, MaxRungs: 4, EtaDT: 0.1,
+	}, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var substeps int
+	for i := 0; i < 2; i++ {
+		st := s.Step()
+		substeps = st.Substeps
+		if st.Substeps < 1 {
+			t.Fatalf("step %d: no substeps reported: %+v", i, st)
+		}
+		if st.Rebuilds >= st.Substeps && st.Substeps > 1 {
+			t.Errorf("step %d: no tree reuse (%d rebuilds / %d substeps)", i, st.Rebuilds, st.Substeps)
+		}
+		if st.ActiveFrac < 0 || st.ActiveFrac > 1 {
+			t.Errorf("step %d: active fraction %v outside [0,1]", i, st.ActiveFrac)
+		}
+	}
+	if substeps <= 1 {
+		t.Error("rungs never spread on the concentrated model")
+	}
+	if s.Substep() != 0 {
+		t.Errorf("not at a top-of-step barrier after Step: %d", s.Substep())
+	}
+
+	// Rungs survive the public snapshot round trip, so a restored block run
+	// can keep its hierarchy via RestoreSubstep.
+	got := s.Particles()
+	var spread bool
+	for _, p := range got {
+		if p.Rung > 0 {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Fatal("gathered particles carry no rungs")
+	}
+	path := filepath.Join(t.TempDir(), "block.snap")
+	if err := SaveSnapshot(path, s.Time(), s.StepCount(), got); err != nil {
+		t.Fatal(err)
+	}
+	_, _, loaded, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if loaded[i].Rung != got[i].Rung {
+			t.Fatalf("particle %d: rung %d != %d after snapshot round trip", i, loaded[i].Rung, got[i].Rung)
+		}
+	}
+	s2, err := New(Config{
+		Ranks: 2, Softening: 0.01, DT: 4e-3, Theta: 0.4,
+		BlockSteps: true, MaxRungs: 4, EtaDT: 0.1,
+	}, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.RestoreSubstep(0); err != nil {
+		t.Fatal(err)
+	}
+	s2.SetClock(s.StepCount(), s.Time())
+	s2.Step()
+
+	// Garbage configs are rejected up front.
+	if _, err := New(Config{DT: math.NaN()}, parts); err == nil {
+		t.Error("NaN DT accepted")
+	}
+	if _, err := New(Config{BlockSteps: true, MaxRungs: 17}, parts); err == nil {
+		t.Error("MaxRungs 17 accepted")
+	}
+}

@@ -43,6 +43,9 @@ func main() {
 		theta      = flag.Float64("theta", 0.4, "opening angle (paper: 0.4)")
 		eps        = flag.Float64("eps", 0, "softening in kpc (0 = paper's N^-1/3 scaling)")
 		dt         = flag.Float64("dt", 0, "time step (0 = softening-based minimum, paper §VI.C)")
+		blockSteps = flag.Bool("block-steps", false, "hierarchical block timesteps: per-particle dt = dt/2^k from the acceleration criterion")
+		maxRungs   = flag.Int("max-rungs", 4, "block timesteps: maximum hierarchy depth (dt/2^max-rungs is the finest step)")
+		etaDT      = flag.Float64("eta-dt", 0.1, "block timesteps: accuracy parameter of dt_i = eta*sqrt(eps/|a_i|)")
 		steps      = flag.Int("steps", 64, "number of leapfrog steps")
 		snapEvery  = flag.Int("snap-every", 0, "snapshot interval in steps (0 = none)")
 		snapPrefix = flag.String("snap-prefix", "snap", "snapshot filename prefix")
@@ -93,6 +96,7 @@ func main() {
 			runWorker(lc, *workerRank, workerSimConfig{
 				model: *model, n: *n, seed: *seed, restore: *restore,
 				workers: *workers, theta: *theta, eps: *eps, dt: *dt,
+				blockSteps: *blockSteps, maxRungs: *maxRungs, etaDT: *etaDT,
 			})
 		} else {
 			runLauncher(lc)
@@ -152,11 +156,21 @@ func main() {
 		Theta:          *theta,
 		Softening:      *eps,
 		DT:             *dt,
+		BlockSteps:     *blockSteps,
+		MaxRungs:       *maxRungs,
+		EtaDT:          *etaDT,
 		GravConst:      gconst,
 		Tracing:        tracing,
 	}, parts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *blockSteps && *restore != "" {
+		// Snapshots are taken at top-of-step barriers; restoring at barrier 0
+		// keeps the snapshot's rung hierarchy instead of re-assigning it.
+		if err := s.RestoreSubstep(0); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *expvarAddr != "" {
 		if err := s.PublishExpvar(); err != nil {
@@ -177,14 +191,19 @@ func main() {
 		st := s.Step()
 		if !*quiet {
 			k, p := s.Energy()
-			fmt.Printf("step %4d  t=%7.2f Myr  E=%12.5e  step=%6.0f ms  [sort+build %3.0f dom %3.0f props %3.0f grav %4.0f+%4.0f comm %3.0f]  pp/pc %.0f/%.0f  %5.2f Gflop/s\n",
+			block := ""
+			if st.Substeps > 0 {
+				block = fmt.Sprintf("  sub %d/%d reb, active %3.0f%%",
+					st.Substeps, st.Rebuilds, st.ActiveFrac*100)
+			}
+			fmt.Printf("step %4d  t=%7.2f Myr  E=%12.5e  step=%6.0f ms  [sort+build %3.0f dom %3.0f props %3.0f grav %4.0f+%4.0f comm %3.0f]  pp/pc %.0f/%.0f  %5.2f Gflop/s%s\n",
 				startStep+s.StepCount(), (startTime+bonsai.Gyr(s.Time()))*1e3, k+p,
 				st.MaxTimes.Total.Seconds()*1e3,
 				st.Times.SortBuild.Seconds()*1e3, st.Times.Domain.Seconds()*1e3,
 				st.Times.TreeProps.Seconds()*1e3,
 				st.Times.GravLocal.Seconds()*1e3, st.Times.GravLET.Seconds()*1e3,
 				st.Times.NonHiddenComm.Seconds()*1e3,
-				st.PPPerParticle, st.PCPerParticle, st.AppGflops)
+				st.PPPerParticle, st.PCPerParticle, st.AppGflops, block)
 		}
 		if *snapEvery > 0 && (i+1)%*snapEvery == 0 {
 			path := fmt.Sprintf("%s_%05d.snap", *snapPrefix, startStep+s.StepCount())

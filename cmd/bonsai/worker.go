@@ -17,14 +17,17 @@ import (
 // -restore — so every worker derives the same global set, then keeps only its
 // rank's slice.
 type workerSimConfig struct {
-	model   string
-	n       int
-	seed    int64
-	restore string
-	workers int
-	theta   float64
-	eps     float64
-	dt      float64
+	model      string
+	n          int
+	seed       int64
+	restore    string
+	workers    int
+	theta      float64
+	eps        float64
+	dt         float64
+	blockSteps bool
+	maxRungs   int
+	etaDT      float64
 }
 
 // runWorker is one rank of a multi-process run: it joins the socket world,
@@ -81,6 +84,9 @@ func runWorker(lc launchConfig, rank int, wc workerSimConfig) {
 		Theta:          wc.theta,
 		Softening:      wc.eps,
 		DT:             wc.dt,
+		BlockSteps:     wc.blockSteps,
+		MaxRungs:       wc.maxRungs,
+		EtaDT:          wc.etaDT,
 		GravConst:      gconst,
 		Tracing:        lc.telemetryOn(),
 	}
@@ -124,6 +130,14 @@ func runWorker(lc launchConfig, rank int, wc workerSimConfig) {
 	}
 	if ckptStep > 0 {
 		n.SetClock(ckptStep, ckptTime)
+		if wc.blockSteps {
+			// Checkpoints land at top-of-step barriers; restoring at barrier 0
+			// keeps the checkpoint's rung hierarchy instead of re-assigning it,
+			// so the resumed run continues the same substep schedule.
+			if err := n.RestoreSubstep(0); err != nil {
+				log.Fatal(err)
+			}
+		}
 		if rank == 0 {
 			fmt.Printf("resuming from checkpoint at step %d (t=%.4f)\n", ckptStep, ckptTime)
 		}

@@ -8,18 +8,22 @@ import "bonsai/internal/vec"
 // Particle is one N-body particle. Weight carries the load-balancing work
 // estimate (interactions attributed to the particle in the previous step);
 // ID is a stable global identity that survives exchanges, used by tests and
-// by the analysis tooling to follow individual stars.
+// by the analysis tooling to follow individual stars. Rung is the particle's
+// block-timestep level (dt_i = DT/2^Rung); it must travel through domain
+// exchanges so a particle's half-finished step can be closed by whichever
+// rank receives it.
 type Particle struct {
 	Pos    vec.V3
 	Vel    vec.V3
 	Mass   float64
 	Weight float64
 	ID     int64
+	Rung   uint8
 }
 
 // WireBytes is the size of one particle on a hypothetical wire; it feeds the
-// mpi traffic meters (8 floats + one 8-byte id).
-const WireBytes = 9 * 8
+// mpi traffic meters (8 floats + one 8-byte id + one rung byte).
+const WireBytes = 9*8 + 1
 
 // Bounds returns the bounding box of a particle set.
 func Bounds(ps []Particle) vec.Box {

@@ -30,8 +30,8 @@ func TestCenterOfMassWeighting(t *testing.T) {
 }
 
 func TestWireBytesMatchesFieldCount(t *testing.T) {
-	// 3 pos + 3 vel + mass + weight + id = 9 words.
-	if WireBytes != 9*8 {
+	// 3 pos + 3 vel + mass + weight + id = 9 words, plus one rung byte.
+	if WireBytes != 9*8+1 {
 		t.Errorf("WireBytes = %d", WireBytes)
 	}
 }

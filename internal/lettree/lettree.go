@@ -206,6 +206,12 @@ func Sufficient(l *LET, targetBox vec.Box, theta float64) bool {
 	if l.Empty() {
 		return true
 	}
+	// An empty target box (a rank with no active walk targets this substep)
+	// opens nothing: any tree is sufficient. Both the would-be sender and the
+	// receiver see the same empty box, so neither builds nor expects a LET.
+	if targetBox.Empty() {
+		return true
+	}
 	var rec func(idx int32) bool
 	rec = func(idx int32) bool {
 		c := &l.Cells[idx]

@@ -70,7 +70,8 @@ func appendParticle(b []byte, p *body.Particle) []byte {
 	b = appendV3(b, p.Vel)
 	b = appendF64(b, p.Mass)
 	b = appendF64(b, p.Weight)
-	return appendU64(b, uint64(p.ID))
+	b = appendU64(b, uint64(p.ID))
+	return append(b, p.Rung)
 }
 
 // encodePayload serializes data and returns its kind tag and payload bytes.
@@ -194,6 +195,8 @@ func getParticle(b []byte, off *int) body.Particle {
 	p.Mass = getF64(b, off)
 	p.Weight = getF64(b, off)
 	p.ID = int64(getU64(b, off))
+	p.Rung = b[*off]
+	*off++
 	return p
 }
 

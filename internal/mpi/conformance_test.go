@@ -163,8 +163,8 @@ func TestWireCodecRoundTripsSimPayloads(t *testing.T) {
 		[][]byte{{9}, nil, {8, 7}},
 		vec.V3{X: 1, Y: 2, Z: 3},
 		vec.Box{Min: vec.V3{X: -1}, Max: vec.V3{X: 1}},
-		body.Particle{Pos: vec.V3{X: 1}, Vel: vec.V3{Y: 2}, Mass: 3, Weight: 4, ID: 5},
-		[]body.Particle{{Mass: 1, ID: 1}, {Mass: 2, ID: 2}},
+		body.Particle{Pos: vec.V3{X: 1}, Vel: vec.V3{Y: 2}, Mass: 3, Weight: 4, ID: 5, Rung: 6},
+		[]body.Particle{{Mass: 1, ID: 1, Rung: 3}, {Mass: 2, ID: 2}},
 		let,
 		[]*lettree.LET{nil, let},
 	}

@@ -143,6 +143,18 @@ type StepMetrics struct {
 	GravLocalMS float64 `json:"grav_local_ms,omitempty"`
 	GravLETMS   float64 `json:"grav_let_ms,omitempty"`
 	OtherMS     float64 `json:"other_ms,omitempty"`
+
+	// Block-timestep fields (Config.BlockSteps runs only): the substep
+	// boundary the evaluation ran at (1..2^MaxRungs; 0 = a priming
+	// evaluation), how many particles were active, the active fraction of
+	// the global set, whether the evaluation rebuilt the tree from scratch
+	// (vs refreshing multipoles on the reused structure), and the global
+	// per-rung population after the boundary's rung update.
+	Substep    int     `json:"substep,omitempty"`
+	ActiveN    int     `json:"active_n,omitempty"`
+	ActiveFrac float64 `json:"active_frac,omitempty"`
+	TreeRebuilt bool   `json:"tree_rebuilt,omitempty"`
+	RungPop    []int   `json:"rung_pop,omitempty"`
 }
 
 // WriteMetricsJSONL writes the recorded per-step metrics, one JSON object per
@@ -218,6 +230,14 @@ func MergeStepMetrics(steps []StepMetrics) []StepMetrics {
 			continue
 		}
 		agg := StepMetrics{Step: s, Ranks: len(group), KernelISA: group[0].KernelISA}
+		// The block-timestep fields are globally agreed values (every rank
+		// records the same allreduced numbers), so any group member's copy is
+		// the aggregate.
+		agg.Substep = group[0].Substep
+		agg.ActiveN = group[0].ActiveN
+		agg.ActiveFrac = group[0].ActiveFrac
+		agg.TreeRebuilt = group[0].TreeRebuilt
+		agg.RungPop = group[0].RungPop
 		worstArr := 0.0
 		for _, m := range group {
 			agg.N += m.N

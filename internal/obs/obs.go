@@ -43,6 +43,7 @@ const (
 	PhaseArrive                 // instant: a full LET arrived (arg = source rank)
 	PhaseWalkDone               // instant: local-tree walk completed
 	PhaseSortBuild              // fused SFC sort + octree construction (one pass)
+	PhaseSubstep                // one block-timestep substep: kicks+drift+forces (arg = boundary index)
 	numPhase
 )
 
@@ -50,6 +51,7 @@ var phaseNames = [numPhase]string{
 	"sort", "domain", "tree-build", "tree-props", "boundary-allgather",
 	"walk:local", "walk:let", "walk:boundary", "let:build", "recv:wait",
 	"wait:let", "integrate", "let:arrive", "walk:done", "sort+build",
+	"substep",
 }
 
 func (p Phase) String() string {

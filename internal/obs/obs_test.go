@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"expvar"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -242,7 +243,9 @@ func TestMetricsJSONLRoundTrip(t *testing.T) {
 		{Step: 0, Ranks: 4, N: 1000, MeanStepMS: 1.5, MaxStepMS: 2.0, Straggler: 3,
 			OverlapFrac: 0.75, LETsRecv: 8, LETsOverlapped: 6, ArrivalsSeen: 8,
 			WorstArrivalMS: -0.25, WalkGflops: 1.25, AppGflops: 0.5},
-		{Step: 1, Ranks: 4, N: 1000, MeanStepMS: 1.4, MaxStepMS: 1.9, Straggler: 2},
+		{Step: 1, Ranks: 4, N: 1000, MeanStepMS: 1.4, MaxStepMS: 1.9, Straggler: 2,
+			Substep: 3, ActiveN: 250, ActiveFrac: 0.25, TreeRebuilt: true,
+			RungPop: []int{700, 200, 100}},
 	}
 	for _, m := range want {
 		r.AddStep(m)
@@ -259,7 +262,7 @@ func TestMetricsJSONLRoundTrip(t *testing.T) {
 		t.Fatalf("round-tripped %d records, want %d", len(got), len(want))
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if !reflect.DeepEqual(got[i], want[i]) {
 			t.Errorf("record %d: got %+v, want %+v", i, got[i], want[i])
 		}
 	}

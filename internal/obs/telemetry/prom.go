@@ -111,6 +111,14 @@ func writeStepProm(p *promWriter, m obs.StepMetrics, rank int, isa string) {
 	p.gauge("bonsai_app_gflops", "application throughput of the latest force evaluation", rl, m.AppGflops)
 	p.gauge("bonsai_overlap_frac", "fraction of LETs fully hidden behind the local walk", rl, m.OverlapFrac)
 	p.gauge("bonsai_lets_recv", "full LETs received in the latest force evaluation", rl, float64(m.LETsRecv))
+	if m.ActiveN > 0 {
+		p.gauge("bonsai_active_frac", "fraction of particles force-evaluated in the latest block substep",
+			rl, m.ActiveFrac)
+	}
+	for k, n := range m.RungPop {
+		p.gauge("bonsai_rung_population", "global particle count per block-timestep rung",
+			append(rankLabel(rank), label{"rung", strconv.Itoa(k)}), float64(n))
+	}
 	if isa == "" {
 		isa = m.KernelISA
 	}

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"expvar"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -51,7 +52,7 @@ func TestReadMetricsJSONLTruncatedTail(t *testing.T) {
 		if err != nil {
 			t.Fatalf("cut at %d: %v", cut, err)
 		}
-		if len(got) != 2 || got[0] != full[0] || got[1] != full[1] {
+		if len(got) != 2 || !reflect.DeepEqual(got[0], full[0]) || !reflect.DeepEqual(got[1], full[1]) {
 			t.Fatalf("cut at %d: got %d records, want the 2-record prefix", cut, len(got))
 		}
 	}
@@ -161,7 +162,7 @@ func TestMergeStepMetrics(t *testing.T) {
 
 	// Already-aggregated records (one per step) pass through untouched.
 	agg := []StepMetrics{{Step: 0, Ranks: 4, MeanStepMS: 7, MaxStepMS: 9, Straggler: 2}}
-	if got := MergeStepMetrics(agg); len(got) != 1 || got[0] != agg[0] {
+	if got := MergeStepMetrics(agg); len(got) != 1 || !reflect.DeepEqual(got[0], agg[0]) {
 		t.Errorf("aggregated record did not pass through: %+v", got)
 	}
 }

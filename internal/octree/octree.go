@@ -115,6 +115,36 @@ func (t *Tree) ComputeProperties() {
 	}
 }
 
+// RefreshProperties recomputes multipole moments (and the MAC offsets that
+// depend on them) over the EXISTING cell structure after particle positions
+// were updated in place — the incremental properties path of block-timestep
+// substeps. Cell geometry (Box, Side), the Morton order, and the particle →
+// cell ranges are all kept; only the moments sweep reruns, so a refresh
+// costs the "Tree-properties" phase alone instead of sort+build+properties.
+// Callers are responsible for bounding the drift since the last full build
+// (see sim's rebuild criterion): once particles leave their cells, group
+// boxes and cell boxes no longer contain them and the MAC degrades.
+func (t *Tree) RefreshProperties(workers int) {
+	t.ComputePropertiesParallel(workers)
+}
+
+// MinLeafSide returns the smallest leaf-cell side length, the length scale
+// against which position drift is compared to decide whether a reused tree
+// structure is still acceptable. Returns 0 for an empty tree.
+func (t *Tree) MinLeafSide() float64 {
+	min := 0.0
+	for i := range t.Cells {
+		c := &t.Cells[i]
+		if !c.Leaf {
+			continue
+		}
+		if min == 0 || c.Side < min {
+			min = c.Side
+		}
+	}
+	return min
+}
+
 // momentsAt computes one cell's multipole and MAC offset from its particles
 // (leaves) or already-finished children (inner cells). It is the unit of
 // work both property sweeps share, so serial and parallel sweeps are

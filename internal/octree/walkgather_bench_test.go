@@ -1,0 +1,72 @@
+package octree
+
+import (
+	"testing"
+
+	"bonsai/internal/grav"
+	"bonsai/internal/vec"
+)
+
+// BenchmarkWalkGather splits the tree-walk into its non-kernel parts so the
+// bookkeeping cost is measurable on its own: Traverse runs only the MAC
+// traversal (interaction-list building), TraverseGather adds the SoA
+// gather/scatter the batched kernels consume, and Full is the complete walk
+// including the force kernels. Full minus TraverseGather is pure kernel time;
+// TraverseGather minus Traverse is the gather/scatter overhead the block
+// timestep's subset walks pay once per active group.
+func BenchmarkWalkGather(b *testing.B) {
+	pos, mass := clusteredCloud(100_000, 1)
+	tr, _ := BuildFrom(pos, mass, 16, 0)
+	groups := tr.MakeGroups(64)
+	n := tr.NumParticles()
+	acc := make([]vec.V3, n)
+	pot := make([]float64, n)
+
+	b.Run("Traverse", func(b *testing.B) {
+		var lists WalkLists
+		var inter int64
+		for i := 0; i < b.N; i++ {
+			inter = 0
+			for g := range groups {
+				tr.Collect(groups[g].Box, 0.4, &lists)
+				inter += int64(len(lists.CellIdx) + len(lists.PartIdx))
+			}
+		}
+		b.ReportMetric(float64(inter)/float64(len(groups)), "list-len/group")
+	})
+
+	b.Run("TraverseGather", func(b *testing.B) {
+		var lists WalkLists
+		var pp grav.PPSoA
+		var pc grav.PCSoA
+		var tg grav.Targets
+		for i := 0; i < b.N; i++ {
+			for g := range groups {
+				tr.Collect(groups[g].Box, 0.4, &lists)
+				pc.Reset()
+				for _, ci := range lists.CellIdx {
+					pc.Append(tr.Cells[ci].MP)
+				}
+				pp.Reset()
+				for _, pj := range lists.PartIdx {
+					pp.Append(tr.Pos[pj], tr.Mass[pj])
+				}
+				lo, hi := groups[g].Start, groups[g].Start+groups[g].N
+				tg.Gather(tr.Pos[lo:hi])
+				tg.Scatter(acc[lo:hi], pot[lo:hi])
+			}
+		}
+	})
+
+	b.Run("Full", func(b *testing.B) {
+		var st grav.Stats
+		for i := 0; i < b.N; i++ {
+			for j := range acc {
+				acc[j] = vec.V3{}
+				pot[j] = 0
+			}
+			tr.Walk(groups, tr.Pos, 0.4, 1e-4, acc, pot, 0, &st)
+		}
+		b.ReportMetric(st.Flops()/float64(b.N)/1e9, "Gflop/op")
+	})
+}

@@ -33,6 +33,17 @@ type Node struct {
 	evals int
 	time  float64
 	first bool
+
+	// Block-timestep summary of the last completed step (see BlockSummary).
+	lastSub, lastReb int
+	lastActiveFrac   float64
+}
+
+// BlockSummary reports the block-timestep accounting of the most recent Step:
+// substep force evaluations, full tree rebuilds among them, and the mean
+// active fraction per evaluation. All zero on global-dt runs.
+func (n *Node) BlockSummary() (substeps, rebuilds int, activeFrac float64) {
+	return n.lastSub, n.lastReb, n.lastActiveFrac
 }
 
 // NewNode creates the driver for one rank. parts is this rank's initial
@@ -40,6 +51,9 @@ type Node struct {
 // same Config and a consistent split (Simulation.New's split of the global
 // set ordered by rank, e.g. SliceForRank). cfg.Ranks must equal w.Size().
 func NewNode(cfg Config, w *mpi.World, rankID int, parts []body.Particle) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	if cfg.Ranks != w.Size() {
 		return nil, fmt.Errorf("sim: config has %d ranks, world has %d", cfg.Ranks, w.Size())
@@ -120,7 +134,7 @@ func (n *Node) forces(domainUpdate bool) RankStats {
 	eval := n.evals
 	n.evals++
 	n.r.stepForces(n.step, eval, domainUpdate)
-	n.recordStepMetrics(eval, n.r.stats)
+	n.recordStepMetrics(eval, n.r.stats, nil)
 	return n.r.stats
 }
 
@@ -128,9 +142,10 @@ func (n *Node) forces(domainUpdate bool) RankStats {
 // tracing recorder's metrics stream. Unlike Simulation's aggregated record, a
 // Node only knows its own times: Mean == Max == this rank's step time and
 // Straggler names itself; the telemetry collector (or MergeStepMetrics) folds
-// the per-rank streams into the cross-rank aggregate. No-op when tracing is
-// disabled.
-func (n *Node) recordStepMetrics(eval int, rs RankStats) {
+// the per-rank streams into the cross-rank aggregate. be carries the
+// block-timestep diagnostics of a substep evaluation (nil on the global-dt
+// path). No-op when tracing is disabled.
+func (n *Node) recordStepMetrics(eval int, rs RankStats, be *blockEval) {
 	rec := n.cfg.Obs
 	if rec == nil {
 		return
@@ -165,13 +180,27 @@ func (n *Node) recordStepMetrics(eval int, rs RankStats) {
 	if rs.ArrivalsSeen > 0 {
 		m.WorstArrivalMS = float64(rs.WorstArrival) / 1e6
 	}
+	if be != nil {
+		m.Substep = be.boundary
+		m.TreeRebuilt = be.rebuilt
+		if be.totalN > 0 {
+			m.ActiveN = be.activeN
+			m.ActiveFrac = float64(be.activeN) / float64(be.totalN)
+		}
+		m.RungPop = be.rungPop
+	}
 	rec.AddStep(m)
 }
 
 // Step advances this rank by one leapfrog step, in lockstep with every other
 // rank of the world, and returns the rank's force-phase statistics. The
-// sequence of collective operations is identical to Simulation.Step.
+// sequence of collective operations is identical to Simulation.Step —
+// including the block-timestep path, which dispatches to the same
+// blockAdvance every other rank runs.
 func (n *Node) Step() RankStats {
+	if n.cfg.BlockSteps {
+		return n.stepBlock()
+	}
 	primed := false
 	if n.first {
 		n.forces(n.domainDue())

@@ -68,6 +68,49 @@ type rank struct {
 
 	// step-scoped
 	stats RankStats
+
+	// Block-timestep state (Config.BlockSteps; see block.go). sub is the
+	// current substep barrier, rungPop the allreduced global rung
+	// population, buildPos/minLeaf/maxDrift2 the tree-reuse drift bound,
+	// and the a* slices the compact gather buffers for active-subset walks.
+	sub        int
+	rungPop    []float64
+	popScratch []float64
+	buildPos   []vec.V3
+	minLeaf    float64
+	maxDrift2  float64
+	treeOK     bool
+	restored   bool // rungs/substep restored from a snapshot: skip the priming rung assignment
+	primedStep bool // the current top-level step ran a priming evaluation
+	blockEvals []blockEval
+	stepAccum  RankStats
+	stepSub    int // substep evaluations accumulated into stepAccum
+	stepReb    int // tree rebuilds accumulated into stepAccum
+	stepActive float64
+	stepTotal  float64
+	active     []int32
+	apos       []vec.V3
+	amass      []float64
+	aacc       []vec.V3
+	apot       []float64
+	aext       []float64
+	agroups    []octree.Group
+}
+
+// walkTargets is the target side of one gravity phase: the groups to walk,
+// their SoA views, and the force/potential outputs, plus the bounding box
+// advertised to peers (the box sufficiency checks and LET builds see). The
+// full pipeline points it at the rank's tree-ordered arrays; block-timestep
+// substeps point it at compact gathers of the active particles only, so the
+// LET/boundary exchange ships data for active walks alone.
+type walkTargets struct {
+	groups []octree.Group
+	pos    []vec.V3
+	mass   []float64
+	acc    []vec.V3
+	pot    []float64
+	ext    []float64
+	box    vec.Box
 }
 
 const (
@@ -88,6 +131,49 @@ func (r *rank) stepForces(step, eval int, domainUpdate bool) {
 	r.eval = eval
 	t0 := time.Now()
 
+	r.buildPipeline(step, eval, domainUpdate)
+
+	// --- Gravity: local tree walk overlapped with the LET exchange, then
+	// the eps/G/external post-processing, all over the full particle set.
+	t := r.fullTargets()
+	r.gravity(step%2, &t)
+	r.finishForces(&t)
+	r.extPot = t.ext
+
+	r.stats.Times.Total = time.Since(t0)
+	r.stats.Times.DeriveOther()
+	r.stats.NLocal = len(r.parts)
+
+	// Per-particle work weights for the next decomposition: rank-level flop
+	// balancing as in the paper (§III.B.1).
+	if n := len(r.parts); n > 0 {
+		w := r.stats.Grav.Flops() / float64(n)
+		for i := range r.parts {
+			r.parts[i].Weight = w
+		}
+	}
+}
+
+// fullTargets points a walkTargets at the rank's full tree-ordered arrays —
+// every local particle is a walk target. The advertised box is recomputed
+// from the particles: sufficiency checks and LET construction must see the
+// box that actually bounds the targets the groups were built from.
+func (r *rank) fullTargets() walkTargets {
+	return walkTargets{
+		groups: r.groups,
+		pos:    r.pos,
+		mass:   r.mass,
+		acc:    r.acc,
+		pot:    r.pot,
+		ext:    r.extPot,
+		box:    body.Bounds(r.parts),
+	}
+}
+
+// buildPipeline runs the tree side of a force evaluation: global bounding
+// box and key grid, the (optional) domain update, the fused Morton sort +
+// octree construction, and multipoles + target groups.
+func (r *rank) buildPipeline(step, eval int, domainUpdate bool) {
 	// --- Global bounding box and key grid.
 	gbox := domain.GlobalBox(r.comm, body.Bounds(r.parts))
 	r.grid = keys.NewGrid(gbox)
@@ -159,25 +245,6 @@ func (r *rank) stepForces(step, eval int, domainUpdate bool) {
 	r.groups = r.tree.MakeGroupsScratch(r.cfg.NGroup, r.cfg.WorkersPerRank, r.groups)
 	r.stats.Times.TreeProps = time.Since(tP)
 	r.obs.Span(eval, obs.PhaseTreeProps, obs.LaneCompute, 0, tP, tP.Add(r.stats.Times.TreeProps), 0)
-
-	// --- Gravity: local tree walk overlapped with the LET exchange.
-	// The local box is recomputed after the exchange: sufficiency checks and
-	// LET construction must see the box that actually bounds the particles
-	// the groups were built from.
-	r.gravity(step, body.Bounds(r.parts))
-
-	r.stats.Times.Total = time.Since(t0)
-	r.stats.Times.DeriveOther()
-	r.stats.NLocal = len(r.parts)
-
-	// Per-particle work weights for the next decomposition: rank-level flop
-	// balancing as in the paper (§III.B.1).
-	if n := len(r.parts); n > 0 {
-		w := r.stats.Grav.Flops() / float64(n)
-		for i := range r.parts {
-			r.parts[i].Weight = w
-		}
-	}
 }
 
 // sortBuild computes Morton keys and runs the fused MSD sort + octree
@@ -242,11 +309,17 @@ func (r *rank) sortBuild() {
 // measurable baseline for the overlap benchmarks. Config.PollReceiver keeps
 // the overlap but drops the receiver goroutine: the compute thread polls the
 // mailbox between local-walk chunks instead.
-func (r *rank) gravity(step int, localBox vec.Box) {
+//
+// The target side (groups, their SoA views, outputs, and the advertised box)
+// comes from t: the full pipeline passes every local particle, block-timestep
+// substeps pass only the active subset. tagPar is the message-tag parity that
+// separates consecutive gravity phases' traffic (step parity for global-dt
+// runs, evaluation parity for block runs, where one step holds many phases).
+func (r *rank) gravity(tagPar int, t *walkTargets) {
 	p := r.comm.Size()
 	me := r.comm.Rank()
 	theta, eps2 := r.cfg.Theta, r.cfg.Eps*r.cfg.Eps
-	tag := tagLETBase + step%2
+	tag := tagLETBase + tagPar
 
 	// --- Boundary tree exchange. The SerialLET baseline keeps the blocking
 	// allgather, fully exposing the exchange cost. The overlap modes
@@ -257,13 +330,13 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 	// walks enough that the old allgather barrier became the next exposed
 	// bottleneck.)
 	tB := time.Now()
-	myBoundary := lettree.BoundaryTree(r.tree, r.cfg.BoundaryDepth, localBox)
+	myBoundary := lettree.BoundaryTree(r.tree, r.cfg.BoundaryDepth, t.box)
 	boundaries := make([]*lettree.LET, p)
 	boundaries[me] = myBoundary
 	if r.cfg.SerialLET {
 		boundaries = mpi.Allgather(r.comm, myBoundary, myBoundary.WireBytes())
 	} else {
-		btag := tagBoundaryBase + step%2
+		btag := tagBoundaryBase + tagPar
 		for j := 0; j < p; j++ {
 			if j != me {
 				r.comm.Send(j, btag, myBoundary, myBoundary.WireBytes())
@@ -298,7 +371,7 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 		if r.obs != nil {
 			tb = time.Now()
 		}
-		let := lettree.BuildFor(r.tree, boundaries[j].Box, theta, localBox)
+		let := lettree.BuildFor(r.tree, boundaries[j].Box, theta, t.box)
 		r.comm.Send(j, tag, let, let.WireBytes())
 		sentBytes[j] = int64(let.WireBytes())
 		if r.obs != nil {
@@ -313,8 +386,8 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 
 	walkRemote := func(l *lettree.LET, src int, ph obs.Phase, from string) {
 		tW := time.Now()
-		forced := lettree.WalkObs(l, r.groups, r.pos, theta, eps2,
-			r.acc, r.pot, r.cfg.WorkersPerRank, &r.stats.Grav, r.met.ListLenHist())
+		forced := lettree.WalkObs(l, t.groups, t.pos, theta, eps2,
+			t.acc, t.pot, r.cfg.WorkersPerRank, &r.stats.Grav, r.met.ListLenHist())
 		d := time.Since(tW)
 		letWalk += d
 		if r.obs != nil {
@@ -386,10 +459,10 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 		// Baseline ordering: full local walk, then boundary trees, then
 		// blocking receives in arrival order.
 		tL := time.Now()
-		r.tree.WalkObs(r.groups, r.pos, theta, eps2, r.acc, r.pot,
+		r.tree.WalkObs(t.groups, t.pos, theta, eps2, t.acc, t.pot,
 			r.cfg.WorkersPerRank, &r.stats.Grav, r.met.ListLenHist())
 		localWalk = time.Since(tL)
-		r.obs.Span(r.eval, obs.PhaseWalkLocal, obs.LaneCompute, 0, tL, tL.Add(localWalk), int64(len(r.groups)))
+		r.obs.Span(r.eval, obs.PhaseWalkLocal, obs.LaneCompute, 0, tL, tL.Add(localWalk), int64(len(t.groups)))
 		markWalkDone()
 		for _, j := range useBoundary {
 			walkRemote(boundaries[j], j, obs.PhaseWalkBound, fmt.Sprintf("boundary of %d judged sufficient but", j))
@@ -416,7 +489,7 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 		// after the local walk. Both sides of each pair evaluate the same
 		// predicate on the same two boundary trees, so no handshake is
 		// needed (the paper's symmetric double-check).
-		btag := tagBoundaryBase + step%2
+		btag := tagBoundaryBase + tagPar
 		bLeft := p - 1  // boundaries still in flight
 		expectFrom := 0 // full LETs that will arrive for us (grows as boundaries land)
 		letsSent := 0
@@ -506,7 +579,7 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 		// and walks of already-arrived LETs. Chunks are sized to give the
 		// pipeline regular poll points while keeping each chunk wide enough
 		// to feed the walk worker pool.
-		chunk := (len(r.groups) + 15) / 16
+		chunk := (len(t.groups) + 15) / 16
 		if chunk < r.cfg.WorkersPerRank {
 			chunk = r.cfg.WorkersPerRank
 		}
@@ -527,7 +600,7 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 			}
 			return true
 		}
-		pending := r.groups
+		pending := t.groups
 		for len(pending) > 0 {
 			if bLeft > 0 {
 				if from, msg, ok := r.comm.TryRecvAny(btag); ok {
@@ -559,7 +632,7 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 				n = len(pending)
 			}
 			tL := time.Now()
-			r.tree.WalkObs(pending[:n], r.pos, theta, eps2, r.acc, r.pot,
+			r.tree.WalkObs(pending[:n], t.pos, theta, eps2, t.acc, t.pot,
 				r.cfg.WorkersPerRank, &r.stats.Grav, r.met.ListLenHist())
 			d := time.Since(tL)
 			localWalk += d
@@ -671,38 +744,6 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 		r.stats.LETBytesSent += b
 	}
 
-	// Remove the softened self-interaction contributed by each particle's
-	// own leaf (acc contribution is exactly zero; potential is -m/ε).
-	if r.cfg.Eps > 0 {
-		for i := range r.pot {
-			r.pot[i] += r.mass[i] / r.cfg.Eps
-		}
-	}
-
-	// Scale by the unit system's gravitational constant (forces and
-	// potentials are linear in G; kernels compute the G=1 sums).
-	if g := r.cfg.G; g != 1 {
-		for i := range r.acc {
-			r.acc[i] = r.acc[i].Scale(g)
-			r.pot[i] *= g
-		}
-	}
-
-	// Static external field (analytic halo; §I "type 1" simulations). The
-	// field potential is kept in its own slice: r.pot stays the physical
-	// self-gravity potential (reported by Accelerations), while Energy sums
-	// ½·self + ext, the ½ applying only to the pairwise part.
-	if ext := r.cfg.External; ext != nil {
-		r.extPot = resize(r.extPot, len(r.parts))
-		for i := range r.acc {
-			a, ep := ext(r.pos[i])
-			r.acc[i] = r.acc[i].Add(a)
-			r.extPot[i] = ep
-		}
-	} else {
-		r.extPot = r.extPot[:0]
-	}
-
 	// Fold the evaluation's LET arrivals into the arrival-offset histogram:
 	// arrival time minus local-walk completion, negative when communication
 	// was fully hidden behind the walk, positive when the compute side had to
@@ -728,6 +769,46 @@ func (r *rank) gravity(step int, localBox vec.Box) {
 	r.stats.Times.GravLET = letWalk
 	r.stats.Times.NonHiddenComm = boundaryTime + waitTime
 	r.stats.RecvIdle = time.Duration(recvIdle.Load())
+}
+
+// finishForces applies the target-local post-processing of a gravity phase:
+// the softened self-interaction fix, the G scaling, and the static external
+// field. It operates purely on t's arrays, so it serves both the full
+// pipeline (t aliases the rank's tree-ordered slices) and active-subset
+// evaluations (t aliases the compact gather buffers). The caller stores
+// t.ext back into the matching rank slice — finishForces may reallocate it.
+func (r *rank) finishForces(t *walkTargets) {
+	// Remove the softened self-interaction contributed by each particle's
+	// own leaf (acc contribution is exactly zero; potential is -m/ε).
+	if r.cfg.Eps > 0 {
+		for i := range t.pot {
+			t.pot[i] += t.mass[i] / r.cfg.Eps
+		}
+	}
+
+	// Scale by the unit system's gravitational constant (forces and
+	// potentials are linear in G; kernels compute the G=1 sums).
+	if g := r.cfg.G; g != 1 {
+		for i := range t.acc {
+			t.acc[i] = t.acc[i].Scale(g)
+			t.pot[i] *= g
+		}
+	}
+
+	// Static external field (analytic halo; §I "type 1" simulations). The
+	// field potential is kept in its own slice: t.pot stays the physical
+	// self-gravity potential (reported by Accelerations), while Energy sums
+	// ½·self + ext, the ½ applying only to the pairwise part.
+	if ext := r.cfg.External; ext != nil {
+		t.ext = resize(t.ext, len(t.pos))
+		for i := range t.acc {
+			a, ep := ext(t.pos[i])
+			t.acc[i] = t.acc[i].Add(a)
+			t.ext[i] = ep
+		}
+	} else {
+		t.ext = t.ext[:0]
+	}
 }
 
 func resize[T any](s []T, n int) []T {

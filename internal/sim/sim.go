@@ -49,6 +49,26 @@ type Config struct {
 	PX             int     // decomposition DD-process count (0 = auto)
 	SnapLevel      int     // snap domain bounds to level-k octree cells (0 = off)
 
+	// BlockSteps enables hierarchical power-of-two block timesteps: each
+	// particle integrates at DT/2^rung with the rung chosen from the
+	// acceleration criterion dt_i = EtaDT*sqrt(Eps/|a_i|), and a top-level
+	// step becomes a sequence of substeps in which only the active rung
+	// block gets forces while every other particle drifts. Across substeps
+	// the octree is reused: multipoles are refreshed on the drifted
+	// positions and the tree is rebuilt only at top-of-step boundaries or
+	// when drift exceeds a fraction of the smallest leaf cell. Off (the
+	// default) keeps the global-dt leapfrog bit-for-bit.
+	BlockSteps bool
+	// MaxRungs caps the rung hierarchy: the finest per-particle step is
+	// DT/2^MaxRungs and a top-level step runs at most 2^MaxRungs substeps.
+	// 0 (one shared block) makes the block path bitwise-identical to the
+	// global-dt leapfrog. Only meaningful with BlockSteps.
+	MaxRungs int
+	// EtaDT is the accuracy parameter of the timestep criterion
+	// dt_i = EtaDT*sqrt(Eps/|a_i|) (default 0.1). Only meaningful with
+	// BlockSteps and MaxRungs > 0.
+	EtaDT float64
+
 	// G is the gravitational constant of the unit system (default 1).
 	// Milky Way models in galactic units (kpc, km/s, 1e10 M⊙) need
 	// units.G = 43007.1. Forces are linear in G, so it scales the
@@ -155,7 +175,38 @@ func (c Config) withDefaults() Config {
 	if c.G == 0 {
 		c.G = 1
 	}
+	if c.EtaDT <= 0 {
+		c.EtaDT = 0.1
+	}
 	return c
+}
+
+// Validate rejects configurations that would silently simulate garbage:
+// non-finite or negative values of the numeric tunables (zero means "use the
+// default" and stays legal), and out-of-range rung caps. New and NewNode call
+// it before filling defaults.
+func (c Config) Validate() error {
+	check := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("sim: config %s = %v is not finite", name, v)
+		}
+		if v < 0 {
+			return fmt.Errorf("sim: config %s = %v is negative", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"DT", c.DT}, {"Eps", c.Eps}, {"Theta", c.Theta}, {"EtaDT", c.EtaDT}, {"G", c.G}} {
+		if err := check(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if c.MaxRungs < 0 || c.MaxRungs > 16 {
+		return fmt.Errorf("sim: config MaxRungs = %d outside [0, 16]", c.MaxRungs)
+	}
+	return nil
 }
 
 // Simulation is a running N-body system distributed over simulated ranks.
@@ -173,6 +224,9 @@ type Simulation struct {
 // initial placement is an arbitrary even split; the first step's domain
 // update moves every particle to its Hilbert-order owner.
 func New(cfg Config, parts []body.Particle) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("sim: no particles")
@@ -255,14 +309,15 @@ func (s *Simulation) forces(domainUpdate bool) []RankStats {
 	for i, r := range s.ranks {
 		stats[i] = r.stats
 	}
-	s.recordStepMetrics(eval, stats)
+	s.recordStepMetrics(eval, stats, nil)
 	return stats
 }
 
 // recordStepMetrics appends one per-evaluation record to the tracing
-// recorder's metrics stream and feeds the imbalance histogram. No-op when
-// tracing is disabled.
-func (s *Simulation) recordStepMetrics(eval int, rs []RankStats) {
+// recorder's metrics stream and feeds the imbalance histogram. be carries
+// the block-timestep diagnostics of a substep evaluation (nil on the
+// global-dt path). No-op when tracing is disabled.
+func (s *Simulation) recordStepMetrics(eval int, rs []RankStats, be *blockEval) {
 	rec := s.cfg.Obs
 	if rec == nil {
 		return
@@ -293,7 +348,7 @@ func (s *Simulation) recordStepMetrics(eval int, rs []RankStats) {
 		imbPct = (float64(agg.MaxTimes.Total)/float64(agg.Times.Total) - 1) * 100
 	}
 	rec.Metrics().ImbalanceHist().Observe(int64(agg.MaxTimes.Total - agg.Times.Total))
-	rec.AddStep(obs.StepMetrics{
+	m := obs.StepMetrics{
 		Step:            eval,
 		Ranks:           agg.Ranks,
 		N:               agg.N,
@@ -316,15 +371,30 @@ func (s *Simulation) recordStepMetrics(eval int, rs []RankStats) {
 		GravLocalMS:     agg.Times.GravLocal.Seconds() * 1e3,
 		GravLETMS:       agg.Times.GravLET.Seconds() * 1e3,
 		OtherMS:         agg.Times.Other.Seconds() * 1e3,
-	})
+	}
+	if be != nil {
+		m.Substep = be.boundary
+		m.TreeRebuilt = be.rebuilt
+		if be.totalN > 0 {
+			m.ActiveN = be.activeN
+			m.ActiveFrac = float64(be.activeN) / float64(be.totalN)
+		}
+		m.RungPop = be.rungPop
+	}
+	rec.AddStep(m)
 }
 
 // domainDue reports whether the current step is a domain-update epoch.
 func (s *Simulation) domainDue() bool { return s.step%s.cfg.DomainFreq == 0 }
 
 // Step advances the system by one leapfrog step (kick-drift-kick) and
-// returns the aggregated statistics of the force computation.
+// returns the aggregated statistics of the force computation. With
+// Config.BlockSteps the step runs as a sequence of block-timestep substeps
+// (see block.go); the returned stats then sum every substep evaluation.
 func (s *Simulation) Step() StepStats {
+	if s.cfg.BlockSteps {
+		return s.stepBlock()
+	}
 	primed := false
 	if s.first {
 		// Prime accelerations at t=0.

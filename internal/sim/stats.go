@@ -143,6 +143,15 @@ type StepStats struct {
 	// ("avx2+fma" when the runtime dispatch selected the SIMD kernels,
 	// "scalar" otherwise) so recorded rates can be attributed to a kernel.
 	KernelISA string
+
+	// Block-timestep summary, populated only on Config.BlockSteps steps:
+	// substep force evaluations the step ran, full tree rebuilds among them
+	// (the rest reused the tree with refreshed multipoles), and the mean
+	// fraction of particles active per evaluation (1 on global-dt-equivalent
+	// runs with MaxRungs == 0, where the fields stay zero).
+	Substeps   int
+	Rebuilds   int
+	ActiveFrac float64
 }
 
 // Aggregate combines per-rank stats into a StepStats; external drivers (the

@@ -3,13 +3,21 @@
 // restarting and detailed analysis" (§VI.C); this package provides the same
 // facility for the reproduction's runs.
 //
-// Format (little-endian):
+// Format v2 (little-endian):
 //
-//	magic   [8]byte  "BONSAI1\n"
+//	magic   [8]byte  "BONSAI2\n"
 //	time    float64
 //	step    int64
+//	substep int64
 //	n       int64
-//	n × { id int64, mass float64, pos [3]float64, vel [3]float64 }
+//	n × { id int64, mass float64, pos [3]float64, vel [3]float64, rung byte }
+//
+// Substep and rung carry the block-timestep state: a snapshot taken at a
+// substep barrier (substep > 0) restores mid-top-level-step, with every
+// particle's power-of-two rung preserved so its half-finished leapfrog step
+// can be closed with the right dt. Read also accepts the v1 format
+// ("BONSAI1\n", no substep, no rungs), which restores with substep 0 and all
+// particles on rung 0.
 package snapshot
 
 import (
@@ -23,18 +31,29 @@ import (
 	"bonsai/internal/body"
 )
 
-var magic = [8]byte{'B', 'O', 'N', 'S', 'A', 'I', '1', '\n'}
+var (
+	magicV1 = [8]byte{'B', 'O', 'N', 'S', 'A', 'I', '1', '\n'}
+	magicV2 = [8]byte{'B', 'O', 'N', 'S', 'A', 'I', '2', '\n'}
+)
 
 // Header carries the simulation metadata stored alongside the particles.
+// Substep is the block-timestep barrier index inside the top-level step
+// (0 = top-of-step boundary, the only value global-dt runs produce).
 type Header struct {
-	Time float64
-	Step int64
+	Time    float64
+	Step    int64
+	Substep int64
 }
 
-// Write serializes the particle set to w.
+const (
+	recV1 = 8 * 8
+	recV2 = 8*8 + 1
+)
+
+// Write serializes the particle set to w in the v2 format.
 func Write(w io.Writer, h Header, parts []body.Particle) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.Write(magic[:]); err != nil {
+	if _, err := bw.Write(magicV2[:]); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, h.Time); err != nil {
@@ -43,10 +62,13 @@ func Write(w io.Writer, h Header, parts []body.Particle) error {
 	if err := binary.Write(bw, binary.LittleEndian, h.Step); err != nil {
 		return err
 	}
+	if err := binary.Write(bw, binary.LittleEndian, h.Substep); err != nil {
+		return err
+	}
 	if err := binary.Write(bw, binary.LittleEndian, int64(len(parts))); err != nil {
 		return err
 	}
-	rec := make([]byte, 8*8)
+	rec := make([]byte, recV2)
 	for i := range parts {
 		p := &parts[i]
 		le := binary.LittleEndian
@@ -58,6 +80,7 @@ func Write(w io.Writer, h Header, parts []body.Particle) error {
 		le.PutUint64(rec[40:], fbits(p.Vel.X))
 		le.PutUint64(rec[48:], fbits(p.Vel.Y))
 		le.PutUint64(rec[56:], fbits(p.Vel.Z))
+		rec[64] = p.Rung
 		if _, err := bw.Write(rec); err != nil {
 			return err
 		}
@@ -65,14 +88,15 @@ func Write(w io.Writer, h Header, parts []body.Particle) error {
 	return bw.Flush()
 }
 
-// Read deserializes a snapshot from r.
+// Read deserializes a snapshot from r, accepting both the v1 and v2 formats.
 func Read(r io.Reader) (Header, []body.Particle, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var got [8]byte
 	if _, err := io.ReadFull(br, got[:]); err != nil {
 		return Header{}, nil, fmt.Errorf("snapshot: reading magic: %w", err)
 	}
-	if got != magic {
+	v2 := got == magicV2
+	if !v2 && got != magicV1 {
 		return Header{}, nil, fmt.Errorf("snapshot: bad magic %q", got)
 	}
 	var h Header
@@ -82,6 +106,11 @@ func Read(r io.Reader) (Header, []body.Particle, error) {
 	if err := binary.Read(br, binary.LittleEndian, &h.Step); err != nil {
 		return Header{}, nil, err
 	}
+	if v2 {
+		if err := binary.Read(br, binary.LittleEndian, &h.Substep); err != nil {
+			return Header{}, nil, err
+		}
+	}
 	var n int64
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
 		return Header{}, nil, err
@@ -89,8 +118,12 @@ func Read(r io.Reader) (Header, []body.Particle, error) {
 	if n < 0 {
 		return Header{}, nil, fmt.Errorf("snapshot: negative particle count %d", n)
 	}
+	size := recV1
+	if v2 {
+		size = recV2
+	}
 	parts := make([]body.Particle, n)
-	rec := make([]byte, 8*8)
+	rec := make([]byte, size)
 	for i := range parts {
 		if _, err := io.ReadFull(br, rec); err != nil {
 			return Header{}, nil, fmt.Errorf("snapshot: particle %d: %w", i, err)
@@ -105,6 +138,9 @@ func Read(r io.Reader) (Header, []body.Particle, error) {
 		p.Vel.X = bitsf(le.Uint64(rec[40:]))
 		p.Vel.Y = bitsf(le.Uint64(rec[48:]))
 		p.Vel.Z = bitsf(le.Uint64(rec[56:]))
+		if v2 {
+			p.Rung = rec[64]
+		}
 	}
 	return h, parts, nil
 }

@@ -2,6 +2,7 @@ package snapshot
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"os"
 	"path/filepath"
@@ -36,6 +37,69 @@ func TestRoundTrip(t *testing.T) {
 		if got[i] != want {
 			t.Fatalf("particle %d: %+v != %+v", i, got[i], want)
 		}
+	}
+}
+
+func TestRoundTripRungsAndSubstep(t *testing.T) {
+	// Block-timestep state: per-particle rungs and the substep barrier index
+	// must survive the v2 format exactly — a snapshot at a mid-step barrier
+	// is only restartable if every particle's half-finished leapfrog step can
+	// be closed with the right dt.
+	parts := ic.Plummer(300, 1, 1, 1, 43)
+	for i := range parts {
+		parts[i].Rung = uint8(i % 7)
+	}
+	h := Header{Time: 1.5, Step: 12, Substep: 5}
+	var buf bytes.Buffer
+	if err := Write(&buf, h, parts); err != nil {
+		t.Fatal(err)
+	}
+	gh, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh != h {
+		t.Fatalf("header %+v != %+v (substep lost?)", gh, h)
+	}
+	for i := range parts {
+		if got[i].Rung != parts[i].Rung {
+			t.Fatalf("particle %d: rung %d != %d", i, got[i].Rung, parts[i].Rung)
+		}
+	}
+}
+
+func TestReadV1Compat(t *testing.T) {
+	// A v1 stream (no substep field, 64-byte records without the rung byte)
+	// must still load: substep 0, every particle on rung 0.
+	var buf bytes.Buffer
+	buf.WriteString("BONSAI1\n")
+	le := binary.LittleEndian
+	var w [8]byte
+	le.PutUint64(w[:], math.Float64bits(2.5)) // time
+	buf.Write(w[:])
+	le.PutUint64(w[:], 9) // step
+	buf.Write(w[:])
+	le.PutUint64(w[:], 2) // n
+	buf.Write(w[:])
+	for id := int64(0); id < 2; id++ {
+		rec := make([]byte, 8*8)
+		le.PutUint64(rec[0:], uint64(id))
+		le.PutUint64(rec[8:], math.Float64bits(0.5))
+		le.PutUint64(rec[16:], math.Float64bits(float64(id)+0.25))
+		buf.Write(rec)
+	}
+	h, parts, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Time != 2.5 || h.Step != 9 || h.Substep != 0 {
+		t.Fatalf("v1 header mishandled: %+v", h)
+	}
+	if len(parts) != 2 || parts[0].Rung != 0 || parts[1].Rung != 0 {
+		t.Fatalf("v1 particles mishandled: %+v", parts)
+	}
+	if parts[1].Pos.X != 1.25 || parts[1].Mass != 0.5 {
+		t.Fatalf("v1 record layout misread: %+v", parts[1])
 	}
 }
 
