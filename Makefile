@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: tier1 vet build test race fuzz-smoke bench bench-compare bench-overlap trace-smoke telemetry-smoke block-smoke
+.PHONY: tier1 vet build test race fuzz-smoke bench bench-compare bench-overlap trace-smoke telemetry-smoke block-smoke scale-smoke
 
 # tier1 is the pre-merge gate: static checks, full build and test suite
 # (including the noasm scalar-only configuration of the force kernels),
@@ -18,13 +18,17 @@ tier1: vet build test race fuzz-smoke
 # separate sort-then-build path), a 10-second fuzz of the dispatched
 # AVX2 force kernels against the always-compiled scalar reference
 # (agreement to 1e-12, relative to the accumulated contribution magnitude),
-# and a 10-second fuzz of the MaxRungs=0 block-timestep integrator against
+# a 10-second fuzz of the MaxRungs=0 block-timestep integrator against
 # the global-dt leapfrog (bitwise-identical trajectories over random
-# Plummer models and step counts).
+# Plummer models and step counts), and a 10-second fuzz of the coarse
+# global-tree exchange pruning against the unpruned all-pairs exchange
+# (bitwise-identical accelerations over random clouds, rank counts, and
+# coarse depths).
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzSortBuildEquivalence -fuzztime 10s ./internal/octree
 	$(GO) test -run XXX -fuzz FuzzKernelEquivalence -fuzztime 10s ./internal/grav
 	$(GO) test -run XXX -fuzz FuzzBlockEquivalence -fuzztime 10s ./internal/sim
+	$(GO) test -run XXX -fuzz FuzzPruneEquivalence -fuzztime 10s ./internal/sim
 
 vet:
 	$(GO) vet ./...
@@ -61,7 +65,8 @@ bench:
 	   $(GO) test -run XXX -bench 'BenchmarkWalkGather' -benchtime 2x -count=3 ./internal/octree ; \
 	   $(GO) test -run XXX -bench 'BenchmarkTreePipeline' -benchtime 2x -count=3 ./internal/octree ; \
 	   $(GO) test -run XXX -bench 'BenchmarkSortBuildFused' -benchtime 2x -count=3 ./internal/octree ; \
-	   $(GO) test -run XXX -bench 'BenchmarkPingPong|BenchmarkAllgather8' -benchtime 200x -count=3 ./internal/mpi ; \
+	   $(GO) test -run XXX -bench 'BenchmarkPingPong|BenchmarkAllgather' -benchtime 200x -count=3 ./internal/mpi ; \
+	   $(GO) test -run XXX -bench 'BenchmarkExchangeScale' -benchtime 1x -count=3 . ; \
 	   $(GO) test -run XXX -bench 'BenchmarkBlockSteps' -benchtime 1x -count=3 . ; } \
 	  | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 
@@ -107,6 +112,26 @@ telemetry-smoke:
 	grep -q 'cross-rank start skew' "$$tmp/report.txt" && \
 	grep -q 'format ok' "$$tmp/report.txt" && \
 	echo "telemetry-smoke: OK"
+
+# End-to-end smoke test of the hierarchical LET exchange at scale: 256
+# in-process ranks, one step, with the shared coarse global octree pruning
+# the boundary exchange. Asserts that strictly fewer than p·(p−1) full
+# boundary trees moved, that a non-zero fraction of pair slots was served
+# entirely from the allgathered coarse tree, and that the tracestats
+# straggler report surfaces the pruning counters.
+scale-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/bonsai -model milkyway -n 30000 -ranks 256 -steps 1 -q \
+	  -global-tree 3 -metrics "$$tmp/metrics.jsonl" | tee "$$tmp/run.txt" && \
+	awk '/^exchange:/ { for(i=1;i<=NF;i++){ if($$i ~ /^boundary-trees=/) bt=substr($$i,16)+0; \
+	        if($$i ~ /^pair-slots=/) ps=substr($$i,12)+0; \
+	        if($$i ~ /^global-served-frac=/) f=substr($$i,20)+0 } found=1 } \
+	  END { if (!found) { print "scale-smoke: no exchange summary"; exit 1 } \
+	        printf "scale-smoke: %d boundary trees over %d pair slots, served frac %.3f\n", bt, ps, f; \
+	        exit (bt < ps && f > 0 ? 0 : 1) }' "$$tmp/run.txt" && \
+	$(GO) run ./cmd/tracestats -metrics "$$tmp/metrics.jsonl" | tee "$$tmp/report.txt" && \
+	grep -q 'exchange pruning:' "$$tmp/report.txt" && \
+	echo "scale-smoke: OK"
 
 # End-to-end smoke test of the block-timestep path: a 4-rank multi-process
 # unix-socket run with -block-steps must emit substep spans into the merged

@@ -538,3 +538,69 @@ func benchBlockSteps(b *testing.B, block bool) {
 
 func BenchmarkBlockSteps_Global(b *testing.B) { benchBlockSteps(b, false) }
 func BenchmarkBlockSteps_Rungs(b *testing.B)  { benchBlockSteps(b, true) }
+
+// ---------------------------------------------------------------------------
+// Exchange scaling past 64 ranks (DESIGN.md §15): the hierarchical boundary
+// exchange built on the shared coarse global octree, against the all-pairs
+// allgather baseline. Clustered ICs (well-separated blobs, one per rank) are
+// the geometry the prune targets: most rank pairs satisfy the MAC from the
+// K-level coarse prefix, so full boundary trees move only within physical
+// neighborhoods. boundary/step counts full boundary-tree sends per step
+// (p·(p−1) for the baseline), served_% the pair slots answered entirely from
+// the allgathered coarse tree, and exchBytes/step the step's total exchange
+// traffic — the quantity that must grow sublinearly in p for the protocol to
+// scale.
+
+// exchangeBlobs builds one Gaussian blob per rank on a widely spaced grid.
+func exchangeBlobs(ranks, perBlob int, seed int64) []Particle {
+	rng := rand.New(rand.NewSource(seed))
+	parts := make([]Particle, 0, ranks*perBlob)
+	id := int64(0)
+	for bl := 0; bl < ranks; bl++ {
+		c := Vec3{
+			X: float64(bl%8) * 40,
+			Y: float64((bl/8)%8) * 40,
+			Z: float64(bl/64) * 40,
+		}
+		for i := 0; i < perBlob; i++ {
+			parts = append(parts, Particle{
+				Pos: Vec3{
+					X: c.X + rng.NormFloat64(),
+					Y: c.Y + rng.NormFloat64(),
+					Z: c.Z + rng.NormFloat64(),
+				},
+				Mass: 1.0 / float64(ranks*perBlob),
+				ID:   id,
+			})
+			id++
+		}
+	}
+	return parts
+}
+
+func benchExchangeScale(b *testing.B, ranks, globalTree int) {
+	const perRank = 500
+	parts := exchangeBlobs(ranks, perRank, 6)
+	s, err := New(Config{
+		Ranks: ranks, WorkersPerRank: 1, Theta: 0.4, Softening: 0.05,
+		SerialLET: true, GlobalTree: globalTree,
+	}, parts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.ComputeForces() // settle domains
+	var st StepStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st = s.ComputeForces()
+	}
+	b.ReportMetric(float64(st.BoundarySent), "boundary/step")
+	b.ReportMetric(st.GlobalServedFrac*100, "served_%")
+	b.ReportMetric(float64(st.BytesSent), "exchBytes/step")
+	b.ReportMetric(float64(st.GlobBytes), "coarseBytes/step")
+}
+
+func BenchmarkExchangeScale_P64(b *testing.B)           { benchExchangeScale(b, 64, 3) }
+func BenchmarkExchangeScale_P256(b *testing.B)          { benchExchangeScale(b, 256, 3) }
+func BenchmarkExchangeScale_P64_AllPairs(b *testing.B)  { benchExchangeScale(b, 64, 0) }
+func BenchmarkExchangeScale_P256_AllPairs(b *testing.B) { benchExchangeScale(b, 256, 0) }

@@ -71,6 +71,16 @@ type Config struct {
 	// DomainFreq is the number of steps between domain re-decompositions.
 	// Default 4.
 	DomainFreq int
+	// GlobalTree enables the shared coarse global octree that prunes the
+	// boundary exchange at scale: each gravity evaluation allgathers only the
+	// top GlobalTree levels of every rank's octree, merges them into one
+	// coarse tree replicated everywhere, and serves distant rank pairs from
+	// its cells so they never exchange boundary trees. The value is the
+	// coarse depth K (clamped to BoundaryDepth); 0 (the default) keeps the
+	// all-to-all boundary exchange. Accelerations are unchanged: the coarse
+	// tree is a bit-exact prefix of the boundary tree, so pruned walks are
+	// identical to unpruned ones.
+	GlobalTree int
 
 	// BlockSteps enables hierarchical power-of-two block timesteps: each
 	// particle integrates on its own rung dt = DT/2^k (k ≤ MaxRungs) chosen
@@ -175,6 +185,17 @@ type StepStats struct {
 	BoundaryUsed int
 	BytesSent    int64
 
+	// Exchange-pruning summary (Config.GlobalTree > 0): BoundarySent counts
+	// boundary trees actually pushed (p·(p−1) per evaluation without
+	// pruning), GlobalServed the directed rank pairs served entirely from
+	// the shared coarse global tree, GlobalServedFrac their fraction of all
+	// pair-slots, and GlobBytes the coarse-contribution traffic paid for
+	// the pruning.
+	BoundarySent     int
+	GlobalServed     int
+	GlobalServedFrac float64
+	GlobBytes        int64
+
 	// Overlap efficiency of the gravity phase: LETsOverlapped of the
 	// LETsRecv received full LETs were walked while the local tree-walk
 	// was still running (OverlapFrac is their ratio); RecvIdle is the mean
@@ -231,6 +252,7 @@ func New(cfg Config, parts []Particle) (*Simulation, error) {
 		NGroup:         cfg.NGroup,
 		BoundaryDepth:  cfg.BoundaryDepth,
 		DomainFreq:     cfg.DomainFreq,
+		GlobalTree:     cfg.GlobalTree,
 		BlockSteps:     cfg.BlockSteps,
 		MaxRungs:       cfg.MaxRungs,
 		EtaDT:          cfg.EtaDT,
@@ -426,6 +448,7 @@ func NewNodeSimulation(cfg Config, w *World, rank int, parts []Particle) (*NodeS
 		NGroup:         cfg.NGroup,
 		BoundaryDepth:  cfg.BoundaryDepth,
 		DomainFreq:     cfg.DomainFreq,
+		GlobalTree:     cfg.GlobalTree,
 		BlockSteps:     cfg.BlockSteps,
 		MaxRungs:       cfg.MaxRungs,
 		EtaDT:          cfg.EtaDT,
@@ -641,28 +664,32 @@ func fromPhase(p sim.PhaseTimes) PhaseTimes {
 
 func fromStats(st sim.StepStats) StepStats {
 	return StepStats{
-		Step:           st.Step,
-		Ranks:          st.Ranks,
-		N:              st.N,
-		Times:          fromPhase(st.Times),
-		MaxTimes:       fromPhase(st.MaxTimes),
-		PP:             st.Grav.PP,
-		PC:             st.Grav.PC,
-		PPPerParticle:  st.PPPerParticle,
-		PCPerParticle:  st.PCPerParticle,
-		Flops:          st.Grav.Flops(),
-		LETsSent:       st.LETsSent,
-		BoundaryUsed:   st.BoundaryUsed,
-		BytesSent:      st.BytesSent,
-		LETsRecv:       st.LETsRecv,
-		LETsOverlapped: st.LETsOverlapped,
-		OverlapFrac:    st.OverlapFrac,
-		RecvIdle:       st.RecvIdle,
-		WalkGflops:     st.WalkGflops,
-		AppGflops:      st.AppGflops,
-		KernelISA:      st.KernelISA,
-		Substeps:       st.Substeps,
-		Rebuilds:       st.Rebuilds,
-		ActiveFrac:     st.ActiveFrac,
+		Step:             st.Step,
+		Ranks:            st.Ranks,
+		N:                st.N,
+		Times:            fromPhase(st.Times),
+		MaxTimes:         fromPhase(st.MaxTimes),
+		PP:               st.Grav.PP,
+		PC:               st.Grav.PC,
+		PPPerParticle:    st.PPPerParticle,
+		PCPerParticle:    st.PCPerParticle,
+		Flops:            st.Grav.Flops(),
+		LETsSent:         st.LETsSent,
+		BoundaryUsed:     st.BoundaryUsed,
+		BytesSent:        st.BytesSent,
+		BoundarySent:     st.BoundarySent,
+		GlobalServed:     st.GlobalServed,
+		GlobalServedFrac: st.GlobalServedFrac,
+		GlobBytes:        st.GlobBytes,
+		LETsRecv:         st.LETsRecv,
+		LETsOverlapped:   st.LETsOverlapped,
+		OverlapFrac:      st.OverlapFrac,
+		RecvIdle:         st.RecvIdle,
+		WalkGflops:       st.WalkGflops,
+		AppGflops:        st.AppGflops,
+		KernelISA:        st.KernelISA,
+		Substeps:         st.Substeps,
+		Rebuilds:         st.Rebuilds,
+		ActiveFrac:       st.ActiveFrac,
 	}
 }

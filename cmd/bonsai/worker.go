@@ -28,6 +28,8 @@ type workerSimConfig struct {
 	blockSteps bool
 	maxRungs   int
 	etaDT      float64
+	globalTree int
+	serialLET  bool
 }
 
 // runWorker is one rank of a multi-process run: it joins the socket world,
@@ -84,10 +86,12 @@ func runWorker(lc launchConfig, rank int, wc workerSimConfig) {
 		Theta:          wc.theta,
 		Softening:      wc.eps,
 		DT:             wc.dt,
+		GlobalTree:     wc.globalTree,
 		BlockSteps:     wc.blockSteps,
 		MaxRungs:       wc.maxRungs,
 		EtaDT:          wc.etaDT,
 		GravConst:      gconst,
+		SerialLET:      wc.serialLET,
 		Tracing:        lc.telemetryOn(),
 	}
 

@@ -1,0 +1,194 @@
+// Package globtree builds the shared coarse global octree that lets the LET
+// exchange scale past all-to-all: every rank contributes the top few levels
+// of its local octree (a depth-limited boundary tree plus the dense octant
+// occupancy histogram the fused MSD sort already materializes), one small
+// collective merges the contributions, and every rank deterministically
+// materializes the same coarse tree with per-cell occupancy, mass, and rank
+// ownership — the Cornerstone construction (Keller et al.) applied to the
+// paper's push-only LET protocol.
+//
+// The key property is that a rank's coarse contribution IS a prefix of its
+// boundary tree: lettree.BoundaryTree at depth K ≤ BoundaryDepth yields cells
+// that are bit-identical to the top-K cells of the full boundary tree. So
+// when lettree.Sufficient holds for a coarse contribution against a target
+// box, the MAC walk of the coarse tree visits exactly the cells the walk of
+// the full boundary tree would visit — the accelerations are bitwise equal —
+// and the pair needs no boundary exchange at all. Pairs for which the coarse
+// test fails fall back to the existing full boundary-tree protocol, making
+// the exchange hierarchical: all-pairs on the tiny coarse trees, boundary
+// trees only within MAC-determined neighborhoods.
+package globtree
+
+import (
+	"bonsai/internal/keys"
+	"bonsai/internal/lettree"
+	"bonsai/internal/octree"
+	"bonsai/internal/vec"
+)
+
+// Contribution is one rank's input to the coarse global octree.
+type Contribution struct {
+	// Tree is the rank's depth-limited boundary tree: the top `levels` levels
+	// of its local octree with exact multipoles, bit-identical to a prefix of
+	// the full boundary tree the rank would otherwise exchange.
+	Tree *lettree.LET
+	// Counts is the rank's dense octant occupancy histogram over the same
+	// levels (octree.TopHistogram): Counts[LevelOffset(l)+path] is the number
+	// of local particles in the level-l cell at that octant path.
+	Counts []int64
+}
+
+// Extract builds a rank's contribution from its local octree. levels is the
+// coarse-tree depth K; localBox is the rank's walk-target bounding box (the
+// same box its boundary tree advertises).
+func Extract(t *octree.Tree, levels int, localBox vec.Box) *Contribution {
+	counts, _ := t.TopHistogram(levels)
+	return &Contribution{
+		Tree:   lettree.BoundaryTree(t, levels, localBox),
+		Counts: counts,
+	}
+}
+
+// LevelOffset is the index of (level, path=0) in the dense octant lattice:
+// (8^level − 1)/7 cells precede level `level`.
+func LevelOffset(level int) int {
+	return ((1 << (3 * level)) - 1) / 7
+}
+
+// NumCells is the lattice length covering levels 0..levels inclusive.
+func NumCells(levels int) int {
+	return LevelOffset(levels + 1)
+}
+
+// Cell is one merged coarse-tree cell on the dense octant lattice.
+type Cell struct {
+	N     int64   // total particles across ranks
+	Mass  float64 // total mass
+	COM   vec.V3  // mass-weighted centre of mass of the contributions
+	Ranks int32   // number of ranks with particles in the cell
+	Owner int32   // rank owning the most particles here; -1 when empty
+}
+
+// Global is the merged coarse global octree. Every rank materializes an
+// identical Global from the same allgathered contributions: the fold visits
+// ranks in ascending order, so even the floating-point fields agree bitwise.
+type Global struct {
+	Levels   int
+	Cells    []Cell // dense lattice, levels 0..Levels; see LevelOffset
+	Contribs []*Contribution
+}
+
+// Merge deterministically materializes the shared coarse tree from the
+// allgathered per-rank contributions (indexed by rank).
+func Merge(contribs []*Contribution, levels int) *Global {
+	g := &Global{
+		Levels:   levels,
+		Cells:    make([]Cell, NumCells(levels)),
+		Contribs: contribs,
+	}
+	for i := range g.Cells {
+		g.Cells[i].Owner = -1
+	}
+	bestN := make([]int64, len(g.Cells))
+	for rank, c := range contribs {
+		if c == nil {
+			continue
+		}
+		for ci, n := range c.Counts {
+			if ci >= len(g.Cells) || n == 0 {
+				continue
+			}
+			cell := &g.Cells[ci]
+			cell.N += n
+			cell.Ranks++
+			if n > bestN[ci] {
+				bestN[ci] = n
+				cell.Owner = int32(rank)
+			}
+		}
+		if c.Tree.Empty() {
+			continue
+		}
+		c.Tree.VisitCells(func(idx int32, level int, path uint64) {
+			if level > levels {
+				return
+			}
+			lc := &c.Tree.Cells[idx]
+			cell := &g.Cells[LevelOffset(level)+int(path)]
+			cell.Mass += lc.MP.M
+			cell.COM = cell.COM.Add(lc.MP.COM.Scale(lc.MP.M))
+		})
+	}
+	for i := range g.Cells {
+		if m := g.Cells[i].Mass; m > 0 {
+			g.Cells[i].COM = g.Cells[i].COM.Scale(1 / m)
+		}
+	}
+	return g
+}
+
+// Ranks returns the number of contributing ranks.
+func (g *Global) Ranks() int { return len(g.Contribs) }
+
+// Coarse returns a rank's coarse tree, walkable exactly like a boundary
+// tree (it is one, truncated at the coarse depth).
+func (g *Global) Coarse(rank int) *lettree.LET { return g.Contribs[rank].Tree }
+
+// Box returns a rank's advertised walk-target box.
+func (g *Global) Box(rank int) vec.Box { return g.Contribs[rank].Tree.Box }
+
+// Sufficient reports whether rank's coarse tree alone can serve every target
+// group inside targetBox under the MAC. When true, the pair is served
+// entirely from the global tree: rank's full boundary tree is neither sent
+// nor needed, and (because the coarse tree is a bit-exact prefix of the
+// boundary tree) the resulting accelerations match the boundary-tree walk
+// bitwise. Every rank evaluates this on identical allgathered inputs, so the
+// pruning decision is symmetric and handshake-free like the rest of the
+// push protocol.
+func (g *Global) Sufficient(rank int, targetBox vec.Box, theta float64) bool {
+	return lettree.Sufficient(g.Contribs[rank].Tree, targetBox, theta)
+}
+
+// OwnerOfKey returns the rank owning the deepest non-empty coarse cell on
+// the Morton key's octant path, or -1 if the whole tree is empty. This is
+// the coarse-grained "which rank is responsible for this region" query that
+// work-stealing and diagnostics use.
+func (g *Global) OwnerOfKey(k keys.Key) int32 {
+	for level := g.Levels; level >= 0; level-- {
+		c := &g.Cells[LevelOffset(level)+int(k.PrefixPath(level))]
+		if c.N > 0 {
+			return c.Owner
+		}
+	}
+	return -1
+}
+
+// OccupiedCells counts non-empty cells at the deepest coarse level — a
+// measure of how much of the lattice the fleet actually populates.
+func (g *Global) OccupiedCells() int {
+	n := 0
+	for _, c := range g.Cells[LevelOffset(g.Levels):] {
+		if c.N > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalN returns the global particle count (the merged root's occupancy).
+func (g *Global) TotalN() int64 {
+	if len(g.Cells) == 0 {
+		return 0
+	}
+	return g.Cells[0].N
+}
+
+// WireBytes returns the total encoded size of all contributions — the bytes
+// one rank receives (and forwards) during the coarse allgather.
+func (g *Global) WireBytes() int {
+	n := 0
+	for _, c := range g.Contribs {
+		n += c.WireBytes()
+	}
+	return n
+}

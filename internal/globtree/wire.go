@@ -1,0 +1,96 @@
+package globtree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bonsai/internal/lettree"
+)
+
+// Wire format of one contribution (little-endian):
+//
+//	magic   uint32 "GCT2"
+//	nCells  uint32            dense lattice length (NumCells(K))
+//	nPairs  uint32            non-zero entries
+//	pairs   nPairs × { idx uint32, count int64 }   ascending idx
+//	tree    lettree wire encoding (self-delimiting via its own header)
+//
+// The occupancy lattice is sparse in practice — a rank's particles populate a
+// handful of octants per level, not the full 8^K fan-out — so the histogram is
+// shipped as (index, count) pairs rather than the dense array Merge consumes.
+// The in-process transport passes *Contribution pointers by reference; this
+// encoding is what the socket transports frame, and it backs the traffic
+// accounting: Marshal's output length is exactly WireBytes().
+
+const contribMagic = 0x47435432 // "GCT2"
+
+const contribHeaderBytes = 4 + 4 + 4
+
+const pairBytes = 4 + 8
+
+func (c *Contribution) nonZero() int {
+	n := 0
+	for _, v := range c.Counts {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// WireBytes returns the exact encoded size of the contribution.
+func (c *Contribution) WireBytes() int {
+	return contribHeaderBytes + pairBytes*c.nonZero() + c.Tree.WireBytes()
+}
+
+// Marshal encodes the contribution into a fresh slice of length WireBytes().
+func (c *Contribution) Marshal() []byte {
+	le := binary.LittleEndian
+	nz := c.nonZero()
+	buf := make([]byte, contribHeaderBytes+pairBytes*nz, contribHeaderBytes+pairBytes*nz+c.Tree.WireBytes())
+	le.PutUint32(buf[0:], contribMagic)
+	le.PutUint32(buf[4:], uint32(len(c.Counts)))
+	le.PutUint32(buf[8:], uint32(nz))
+	off := contribHeaderBytes
+	for i, n := range c.Counts {
+		if n == 0 {
+			continue
+		}
+		le.PutUint32(buf[off:], uint32(i))
+		le.PutUint64(buf[off+4:], uint64(n))
+		off += pairBytes
+	}
+	return append(buf, c.Tree.Marshal()...)
+}
+
+// Unmarshal decodes a contribution produced by Marshal.
+func Unmarshal(buf []byte) (*Contribution, error) {
+	le := binary.LittleEndian
+	if len(buf) < contribHeaderBytes {
+		return nil, fmt.Errorf("globtree: short buffer (%d bytes)", len(buf))
+	}
+	if le.Uint32(buf[0:]) != contribMagic {
+		return nil, fmt.Errorf("globtree: bad magic %#x", le.Uint32(buf[0:]))
+	}
+	nCells := int(le.Uint32(buf[4:]))
+	nPairs := int(le.Uint32(buf[8:]))
+	if len(buf) < contribHeaderBytes+pairBytes*nPairs {
+		return nil, fmt.Errorf("globtree: truncated counts: have %d bytes, want %d", len(buf), contribHeaderBytes+pairBytes*nPairs)
+	}
+	c := &Contribution{Counts: make([]int64, nCells)}
+	off := contribHeaderBytes
+	for i := 0; i < nPairs; i++ {
+		idx := int(le.Uint32(buf[off:]))
+		if idx >= nCells {
+			return nil, fmt.Errorf("globtree: count index %d out of range (lattice %d)", idx, nCells)
+		}
+		c.Counts[idx] = int64(le.Uint64(buf[off+4:]))
+		off += pairBytes
+	}
+	tree, err := lettree.Unmarshal(buf[off:])
+	if err != nil {
+		return nil, err
+	}
+	c.Tree = tree
+	return c, nil
+}

@@ -1,0 +1,42 @@
+package keys
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPrefixPathMatchesOctantDigits(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		k := Morton(rng.Uint32()&MaxCoord, rng.Uint32()&MaxCoord, rng.Uint32()&MaxCoord)
+		for level := 0; level <= 6; level++ {
+			var want uint64
+			for l := 0; l < level; l++ {
+				want = want*8 + uint64(k.Octant(l))
+			}
+			if got := k.PrefixPath(level); got != want {
+				t.Fatalf("key %#x level %d: PrefixPath %d, want octant-fold %d", uint64(k), level, got, want)
+			}
+		}
+	}
+}
+
+func TestPrefixPathEdges(t *testing.T) {
+	k := Morton(MaxCoord, MaxCoord, MaxCoord)
+	if got := k.PrefixPath(0); got != 0 {
+		t.Fatalf("level 0 path %d, want 0", got)
+	}
+	if got := k.PrefixPath(-3); got != 0 {
+		t.Fatalf("negative level path %d, want 0", got)
+	}
+	// Beyond Bits the path saturates at the full key.
+	if got, want := k.PrefixPath(Bits+5), uint64(k); got != want {
+		t.Fatalf("over-deep path %d, want %d", got, want)
+	}
+	// Prefix property: deeper paths extend shallower ones by one digit.
+	for level := 1; level <= Bits; level++ {
+		if k.PrefixPath(level)>>3 != k.PrefixPath(level-1) {
+			t.Fatalf("level %d path does not extend level %d", level, level-1)
+		}
+	}
+}

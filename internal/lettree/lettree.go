@@ -194,6 +194,27 @@ func noChildren() [8]int32 {
 	return [8]int32{NilCell, NilCell, NilCell, NilCell, NilCell, NilCell, NilCell, NilCell}
 }
 
+// VisitCells calls fn for every cell reachable from the root, with the cell's
+// index, its level, and its dense octant path (path = parent path*8 + octant;
+// the root is level 0, path 0). Parents are visited before children, octants
+// ascending. The coarse global octree uses the path to place a boundary
+// tree's cells on the shared octant lattice.
+func (l *LET) VisitCells(fn func(idx int32, level int, path uint64)) {
+	if l.Empty() {
+		return
+	}
+	var rec func(idx int32, level int, path uint64)
+	rec = func(idx int32, level int, path uint64) {
+		fn(idx, level, path)
+		for o, ch := range l.Cells[idx].Children {
+			if ch != NilCell {
+				rec(ch, level+1, path*8+uint64(o))
+			}
+		}
+	}
+	rec(0, 0, 0)
+}
+
 // ---------------------------------------------------------------------------
 // Sufficiency
 

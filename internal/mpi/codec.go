@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"bonsai/internal/body"
+	"bonsai/internal/globtree"
 	"bonsai/internal/keys"
 	"bonsai/internal/lettree"
 	"bonsai/internal/vec"
@@ -48,6 +49,7 @@ const (
 	kLET
 	kLETs
 	kByteSlices
+	kGlobContrib
 )
 
 // nilLETLen marks a nil *lettree.LET inside a kLETs sequence.
@@ -145,6 +147,8 @@ func encodePayload(data any) (uint16, []byte, error) {
 		return kByteSlices, b, nil
 	case *lettree.LET:
 		return kLET, v.Marshal(), nil
+	case *globtree.Contribution:
+		return kGlobContrib, v.Marshal(), nil
 	case []*lettree.LET:
 		var b []byte
 		b = appendU32(b, uint32(len(v)))
@@ -348,6 +352,8 @@ func decodePayload(kind uint16, b []byte) (any, error) {
 		return out, nil
 	case kLET:
 		return lettree.Unmarshal(b)
+	case kGlobContrib:
+		return globtree.Unmarshal(b)
 	case kLETs:
 		off := 0
 		if len(b) < 4 {

@@ -1,0 +1,50 @@
+package octree
+
+// TopHistogram exports the dense occupancy and mass histograms of the tree's
+// top levels 0..maxLevel: exactly the per-octant counts the fused MSD sort
+// (SortBuildScratch) materializes while partitioning, re-read from the built
+// cells. The returned slices are indexed by the dense octant lattice
+//
+//	index(level, path) = (8^level − 1)/7 + path
+//
+// where path is the level-length string of 3-bit Morton digits (the top
+// 3·level key bits). Cells absent from the tree stay zero; a leaf above
+// maxLevel contributes only at the levels where it exists, matching the
+// sparse tree. Every rank's histogram lives on the same lattice, so the
+// coarse global octree merges them with plain elementwise sums.
+func (t *Tree) TopHistogram(maxLevel int) (counts []int64, mass []float64) {
+	n := latticeSize(maxLevel)
+	counts = make([]int64, n)
+	mass = make([]float64, n)
+	if t.Root() == NilCell {
+		return counts, mass
+	}
+	var rec func(src int32, level int, path uint64)
+	rec = func(src int32, level int, path uint64) {
+		c := &t.Cells[src]
+		i := latticeOffset(level) + int(path)
+		counts[i] = int64(c.N)
+		mass[i] = c.MP.M
+		if level == maxLevel || c.Leaf {
+			return
+		}
+		for o, ch := range c.Children {
+			if ch != NilCell {
+				rec(ch, level+1, path*8+uint64(o))
+			}
+		}
+	}
+	rec(t.Root(), 0, 0)
+	return counts, mass
+}
+
+// latticeOffset is the index of (level, path=0) in the dense octant lattice:
+// the number of cells on all shallower levels, (8^level − 1)/7.
+func latticeOffset(level int) int {
+	return ((1 << (3 * level)) - 1) / 7
+}
+
+// latticeSize is the lattice length covering levels 0..maxLevel inclusive.
+func latticeSize(maxLevel int) int {
+	return latticeOffset(maxLevel + 1)
+}

@@ -1,0 +1,81 @@
+package octree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bonsai/internal/keys"
+	"bonsai/internal/vec"
+)
+
+func TestTopHistogramMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pos := make([]vec.V3, 3000)
+	mass := make([]float64, len(pos))
+	for i := range pos {
+		// Two clusters plus a sprinkle, to mix deep and shallow leaves.
+		c := vec.V3{}
+		switch i % 3 {
+		case 0:
+			c = vec.V3{X: 4, Y: 4}
+		case 1:
+			c = vec.V3{X: -4, Z: 4}
+		}
+		pos[i] = c.Add(vec.V3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()})
+		mass[i] = 0.5 + rng.Float64()
+	}
+	tr, _ := BuildFrom(pos, mass, 8, 2)
+
+	const maxLevel = 3
+	counts, hmass := tr.TopHistogram(maxLevel)
+	if len(counts) != latticeSize(maxLevel) || len(hmass) != len(counts) {
+		t.Fatalf("lattice sizes %d/%d, want %d", len(counts), len(hmass), latticeSize(maxLevel))
+	}
+
+	// Brute force from the sorted keys: a cell's occupancy is the number of
+	// keys sharing its octant path — but only where the sparse tree has a
+	// cell (a leaf absorbs its subtree, contributing nothing deeper).
+	wantN := make([]int64, len(counts))
+	wantM := make([]float64, len(counts))
+	var rec func(src int32, level int, path uint64)
+	rec = func(src int32, level int, path uint64) {
+		c := &tr.Cells[src]
+		i := latticeOffset(level) + int(path)
+		for p := c.Start; p < c.Start+c.N; p++ {
+			wantN[i]++
+			wantM[i] += tr.Mass[p]
+		}
+		if level == maxLevel || c.Leaf {
+			return
+		}
+		for o, ch := range c.Children {
+			if ch != NilCell {
+				rec(ch, level+1, path*8+uint64(o))
+			}
+		}
+	}
+	rec(tr.Root(), 0, 0)
+
+	for i := range counts {
+		if counts[i] != wantN[i] {
+			t.Fatalf("cell %d: count %d, want %d", i, counts[i], wantN[i])
+		}
+		if math.Abs(hmass[i]-wantM[i]) > 1e-9*(1+wantM[i]) {
+			t.Fatalf("cell %d: mass %v, want %v", i, hmass[i], wantM[i])
+		}
+	}
+	if counts[0] != int64(len(pos)) {
+		t.Fatalf("root occupancy %d, want %d", counts[0], len(pos))
+	}
+}
+
+func TestTopHistogramEmptyTree(t *testing.T) {
+	empty := Build(nil, nil, nil, keys.NewGrid(vec.Box{Max: vec.V3{X: 1, Y: 1, Z: 1}}), 8)
+	counts, mass := empty.TopHistogram(2)
+	for i := range counts {
+		if counts[i] != 0 || mass[i] != 0 {
+			t.Fatalf("empty tree has non-zero histogram at %d", i)
+		}
+	}
+}

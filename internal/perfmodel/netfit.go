@@ -1,0 +1,96 @@
+package perfmodel
+
+import "math"
+
+// CommSample is one measured non-hidden communication time: a run at p ranks
+// with nPerGPU particles per rank spent Seconds of exposed (not overlapped)
+// exchange time per step. The repository's own runs produce these from
+// StepStats (NonHiddenComm, or exchange bytes over a modeled link rate), so
+// the machine model's network terms can be calibrated from measurements
+// instead of hand-tuned against Table II alone.
+type CommSample struct {
+	P       int
+	NPerGPU float64
+	Seconds float64
+}
+
+// FitComm fits the model's non-hidden communication law
+//
+//	comm(p, n) = base · (p/RefP)^pExp · (RefNPerGPU/n)^nExp
+//
+// to measured samples by least squares in log space (the law is linear in
+// log base, pExp, nExp). At least three samples with genuine variation in
+// both p and n are needed to determine all three terms; with less variation
+// the normal equations are singular and ok is false. Samples with
+// non-positive fields are ignored.
+func FitComm(samples []CommSample) (base, pExp, nExp float64, ok bool) {
+	// Accumulate the 3×3 normal equations A·x = b for rows [1, lp, ln].
+	var a [3][3]float64
+	var rhs [3]float64
+	used := 0
+	for _, s := range samples {
+		if s.P <= 0 || s.NPerGPU <= 0 || s.Seconds <= 0 {
+			continue
+		}
+		lp := math.Log(float64(s.P) / RefP)
+		ln := math.Log(RefNPerGPU / s.NPerGPU)
+		row := [3]float64{1, lp, ln}
+		y := math.Log(s.Seconds)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			rhs[i] += row[i] * y
+		}
+		used++
+	}
+	if used < 3 {
+		return 0, 0, 0, false
+	}
+	x, solved := solve3(a, rhs)
+	if !solved {
+		return 0, 0, 0, false
+	}
+	return math.Exp(x[0]), x[1], x[2], true
+}
+
+// WithComm returns a copy of the machine with its network terms replaced by
+// fitted values, so predictions can be re-run against measured calibration.
+func (m Machine) WithComm(base, pExp, nExp float64) Machine {
+	m.CommBase, m.CommPExp, m.CommNExp = base, pExp, nExp
+	return m
+}
+
+// solve3 solves a 3×3 linear system by Gaussian elimination with partial
+// pivoting; ok is false when the matrix is (numerically) singular, which for
+// FitComm means the samples do not vary enough to determine every exponent.
+func solve3(a [3][3]float64, b [3]float64) ([3]float64, bool) {
+	for col := 0; col < 3; col++ {
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return [3]float64{}, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c < 3; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var x [3]float64
+	for i := 0; i < 3; i++ {
+		x[i] = b[i] / a[i][i]
+	}
+	return x, true
+}

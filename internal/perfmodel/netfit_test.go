@@ -1,0 +1,99 @@
+package perfmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFitCommRecoversSyntheticLaw: samples generated from a known law (with
+// mild multiplicative noise) must fit back to the generating parameters.
+func TestFitCommRecoversSyntheticLaw(t *testing.T) {
+	const base, pExp, nExp = 0.085, 0.27, 0.4
+	rng := rand.New(rand.NewSource(3))
+	var samples []CommSample
+	for _, p := range []int{16, 64, 256, 1024, 4096} {
+		for _, n := range []float64{1e5, 1e6, 13e6} {
+			comm := base *
+				math.Pow(float64(p)/RefP, pExp) *
+				math.Pow(RefNPerGPU/n, nExp) *
+				(1 + 0.01*rng.NormFloat64())
+			samples = append(samples, CommSample{P: p, NPerGPU: n, Seconds: comm})
+		}
+	}
+	gb, gp, gn, ok := FitComm(samples)
+	if !ok {
+		t.Fatal("fit reported singular system on a well-conditioned sample set")
+	}
+	if math.Abs(gb-base) > 0.05*base {
+		t.Errorf("base: fit %v, want %v", gb, base)
+	}
+	if math.Abs(gp-pExp) > 0.03 {
+		t.Errorf("pExp: fit %v, want %v", gp, pExp)
+	}
+	if math.Abs(gn-nExp) > 0.03 {
+		t.Errorf("nExp: fit %v, want %v", gn, nExp)
+	}
+
+	// Round trip through the machine model: predictions with the fitted
+	// terms must reproduce the generating law at an unseen point.
+	m := Titan().WithComm(gb, gp, gn)
+	want := base * math.Pow(512/RefP, pExp) * math.Pow(RefNPerGPU/5e6, nExp)
+	got := m.CommBase * math.Pow(512/RefP, m.CommPExp) * math.Pow(RefNPerGPU/5e6, m.CommNExp)
+	if math.Abs(got-want) > 0.05*want {
+		t.Errorf("fitted prediction at unseen point: %v, want %v", got, want)
+	}
+}
+
+// TestFitCommExactNoiseless: with zero noise the log-space normal equations
+// are exact, so the recovery must be tight.
+func TestFitCommExactNoiseless(t *testing.T) {
+	const base, pExp, nExp = 0.05, 0.15, 0.0
+	var samples []CommSample
+	for _, p := range []int{64, 256, 1024} {
+		for _, n := range []float64{1e6, 13e6} {
+			samples = append(samples, CommSample{
+				P: p, NPerGPU: n,
+				Seconds: base * math.Pow(float64(p)/RefP, pExp) * math.Pow(RefNPerGPU/n, nExp),
+			})
+		}
+	}
+	gb, gp, gn, ok := FitComm(samples)
+	if !ok {
+		t.Fatal("singular")
+	}
+	if math.Abs(gb-base) > 1e-9 || math.Abs(gp-pExp) > 1e-9 || math.Abs(gn-nExp) > 1e-9 {
+		t.Errorf("noiseless fit off: %v %v %v", gb, gp, gn)
+	}
+}
+
+// TestFitCommDegenerate: too few samples, no variation, or junk inputs must
+// report failure instead of NaNs.
+func TestFitCommDegenerate(t *testing.T) {
+	if _, _, _, ok := FitComm(nil); ok {
+		t.Error("empty sample set fitted")
+	}
+	if _, _, _, ok := FitComm([]CommSample{{P: 64, NPerGPU: 1e6, Seconds: 0.1}}); ok {
+		t.Error("single sample fitted three parameters")
+	}
+	// Same p and n everywhere: pExp/nExp are undetermined.
+	same := []CommSample{
+		{P: 256, NPerGPU: 1e6, Seconds: 0.1},
+		{P: 256, NPerGPU: 1e6, Seconds: 0.11},
+		{P: 256, NPerGPU: 1e6, Seconds: 0.09},
+		{P: 256, NPerGPU: 1e6, Seconds: 0.10},
+	}
+	if _, _, _, ok := FitComm(same); ok {
+		t.Error("degenerate (constant p, n) sample set fitted")
+	}
+	// Junk samples are ignored, leaving too few.
+	junk := []CommSample{
+		{P: -4, NPerGPU: 1e6, Seconds: 0.1},
+		{P: 64, NPerGPU: 0, Seconds: 0.1},
+		{P: 64, NPerGPU: 1e6, Seconds: -1},
+		{P: 64, NPerGPU: 1e6, Seconds: 0.1},
+	}
+	if _, _, _, ok := FitComm(junk); ok {
+		t.Error("junk-dominated sample set fitted")
+	}
+}

@@ -252,11 +252,21 @@ func (r *rank) blockForces(step, eval int, domainUpdate, forceRebuild bool, boun
 		r.extPot = t.ext
 
 		// Work weights feed the next decomposition; decompositions happen at
-		// top-of-step barriers, which always take this full-active path.
+		// top-of-step barriers, which always take this full-active path. A
+		// particle on rung k (dt = DT/2^k in this repo's convention) is
+		// force-evaluated 2^k times per step, so it carries 2^k shares of the
+		// rank's measured flops — the per-rung weighting that keeps the
+		// sampling decomposition balancing evaluations, not particle counts.
+		// With MaxRungs == 0 every share is 1 and this reduces bitwise to the
+		// uniform weight flops/n.
 		if n := len(r.parts); n > 0 {
-			w := r.stats.Grav.Flops() / float64(n)
+			tot := 0.0
 			for i := range r.parts {
-				r.parts[i].Weight = w
+				tot += float64(uint64(1) << r.parts[i].Rung)
+			}
+			per := r.stats.Grav.Flops() / tot
+			for i := range r.parts {
+				r.parts[i].Weight = per * float64(uint64(1)<<r.parts[i].Rung)
 			}
 		}
 	} else {
@@ -468,6 +478,9 @@ func (a *RankStats) add(b RankStats) {
 	a.LETsRecv += b.LETsRecv
 	a.BoundaryUsed += b.BoundaryUsed
 	a.LETBytesSent += b.LETBytesSent
+	a.BoundarySent += b.BoundarySent
+	a.GlobalServed += b.GlobalServed
+	a.GlobBytes += b.GlobBytes
 	a.LETsOverlapped += b.LETsOverlapped
 	a.RecvIdle += b.RecvIdle
 	if b.ArrivalsSeen > 0 && (a.ArrivalsSeen == 0 || b.WorstArrival > a.WorstArrival) {

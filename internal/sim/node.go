@@ -163,6 +163,9 @@ func (n *Node) recordStepMetrics(eval int, rs RankStats, be *blockEval) {
 		NonHiddenCommMS: ms(t.NonHiddenComm),
 		LETsRecv:        rs.LETsRecv,
 		LETsOverlapped:  rs.LETsOverlapped,
+		BoundarySent:    rs.BoundarySent,
+		GlobalServed:    rs.GlobalServed,
+		GlobBytes:       rs.GlobBytes,
 		ArrivalsSeen:    rs.ArrivalsSeen,
 		WalkGflops:      rs.WalkGflops(),
 		AppGflops:       finiteRate(rs.Grav.Gflops(t.Total)),
@@ -176,6 +179,9 @@ func (n *Node) recordStepMetrics(eval int, rs RankStats, be *blockEval) {
 	}
 	if rs.LETsRecv > 0 {
 		m.OverlapFrac = float64(rs.LETsOverlapped) / float64(rs.LETsRecv)
+	}
+	if slots := rs.GlobalServed + rs.BoundarySent; slots > 0 {
+		m.GlobalServedFrac = float64(rs.GlobalServed) / float64(slots)
 	}
 	if rs.ArrivalsSeen > 0 {
 		m.WorstArrivalMS = float64(rs.WorstArrival) / 1e6

@@ -9,6 +9,7 @@ import (
 
 	"bonsai/internal/body"
 	"bonsai/internal/domain"
+	"bonsai/internal/globtree"
 	"bonsai/internal/keys"
 	"bonsai/internal/lettree"
 	"bonsai/internal/mpi"
@@ -324,26 +325,100 @@ func (r *rank) gravity(tagPar int, t *walkTargets) {
 	// --- Boundary tree exchange. The SerialLET baseline keeps the blocking
 	// allgather, fully exposing the exchange cost. The overlap modes
 	// pipeline the exchange itself: the local boundary tree is pushed
-	// point-to-point to every peer immediately and arrivals are processed
-	// between local-walk chunks, so the exchange hides behind the walk just
-	// like the LET traffic it gates. (The SIMD force kernels shortened the
-	// walks enough that the old allgather barrier became the next exposed
-	// bottleneck.)
+	// point-to-point and arrivals are processed between local-walk chunks,
+	// so the exchange hides behind the walk just like the LET traffic it
+	// gates. With Config.GlobalTree > 0 the exchange is also hierarchical:
+	// a shared coarse global octree decides, per pair, whether any boundary
+	// tree needs to move at all.
 	tB := time.Now()
 	myBoundary := lettree.BoundaryTree(r.tree, r.cfg.BoundaryDepth, t.box)
 	boundaries := make([]*lettree.LET, p)
 	boundaries[me] = myBoundary
+
+	// Coarse global octree (Config.GlobalTree levels K > 0): one ring
+	// allgather of tiny depth-K boundary-tree prefixes plus octant occupancy
+	// histograms replaces the all-to-all boundary exchange for distant
+	// pairs. Every rank merges the same contributions into the same coarse
+	// tree and evaluates the same MAC predicates, so the pruning decisions
+	// are symmetric and handshake-free like the rest of the push protocol.
+	// A coarse contribution is a bit-exact prefix of the full boundary tree
+	// (K ≤ BoundaryDepth is enforced by the config): when it is sufficient
+	// for our targets, walking it yields bitwise the accelerations the full
+	// boundary tree would have, and the pair exchanges nothing at all.
+	var glob *globtree.Global
+	var sendBoundary []bool // j's coarse view of us is insufficient: push our boundary
+	nearRecv := 0           // full boundary trees en route to us
+	if K := r.cfg.GlobalTree; K > 0 && p > 1 {
+		contrib := globtree.Extract(r.tree, K, t.box)
+		all := mpi.AllgatherRing(r.comm, contrib, (*globtree.Contribution).WireBytes)
+		glob = globtree.Merge(all, K)
+		sendBoundary = make([]bool, p)
+		// With K == BoundaryDepth the coarse contribution IS the boundary
+		// tree (identical construction), so the allgather already delivered
+		// every boundary and no pair needs a separate push at all.
+		dedup := K >= r.cfg.BoundaryDepth
+		for j := 0; j < p; j++ {
+			if j == me {
+				continue
+			}
+			if dedup {
+				boundaries[j] = glob.Coarse(j)
+				if glob.Sufficient(j, t.box, theta) {
+					r.stats.GlobalServed++
+				}
+				continue
+			}
+			if !glob.Sufficient(me, glob.Box(j), theta) {
+				sendBoundary[j] = true
+				r.stats.BoundarySent++
+			}
+			if glob.Sufficient(j, t.box, theta) {
+				// Distant pair: j's coarse tree serves every target we have.
+				boundaries[j] = glob.Coarse(j)
+				r.stats.GlobalServed++
+			} else {
+				nearRecv++
+			}
+		}
+		r.stats.GlobBytes += int64(glob.WireBytes())
+	}
+
 	if r.cfg.SerialLET {
-		boundaries = mpi.Allgather(r.comm, myBoundary, myBoundary.WireBytes())
+		if glob == nil {
+			boundaries = mpi.Allgather(r.comm, myBoundary, myBoundary.WireBytes())
+			r.stats.BoundarySent += p - 1
+			r.stats.LETBytesSent += int64(myBoundary.WireBytes()) * int64(p-1)
+		} else {
+			// Hierarchical exchange: full boundary trees move only within
+			// the MAC-determined neighborhood, received in deterministic
+			// (ascending peer) order. Sends are eager, so every rank posts
+			// its pushes before blocking on receives — no deadlock.
+			btag := tagBoundaryBase + tagPar
+			for j := 0; j < p; j++ {
+				if sendBoundary[j] {
+					r.comm.Send(j, btag, myBoundary, myBoundary.WireBytes())
+					r.stats.LETBytesSent += int64(myBoundary.WireBytes())
+				}
+			}
+			for j := 0; j < p; j++ {
+				if j != me && boundaries[j] == nil {
+					boundaries[j] = r.comm.Recv(j, btag).(*lettree.LET)
+				}
+			}
+		}
 	} else {
 		btag := tagBoundaryBase + tagPar
 		for j := 0; j < p; j++ {
-			if j != me {
-				r.comm.Send(j, btag, myBoundary, myBoundary.WireBytes())
+			if j == me || (glob != nil && !sendBoundary[j]) {
+				continue
 			}
+			r.comm.Send(j, btag, myBoundary, myBoundary.WireBytes())
+			r.stats.LETBytesSent += int64(myBoundary.WireBytes())
+		}
+		if glob == nil {
+			r.stats.BoundarySent += p - 1
 		}
 	}
-	r.stats.LETBytesSent += int64(myBoundary.WireBytes()) * int64(p-1)
 	boundaryTime := time.Since(tB)
 	r.obs.Span(r.eval, obs.PhaseBoundary, obs.LaneCompute, 0, tB, tB.Add(boundaryTime), 0)
 
@@ -430,19 +505,24 @@ func (r *rank) gravity(tagPar int, t *walkTargets) {
 		// the same allgathered data, so no handshake is needed (the
 		// paper's symmetric double-check).
 		sendTo := make([]int, 0, p)   // ranks that need a full LET from us
-		expectFrom := 0               // full LETs that will arrive for us
-		useBoundary := make([]int, 0) // ranks whose boundary tree serves as LET
+		expectFrom := make([]int, 0)  // ranks that will push a full LET to us
+		useBoundary := make([]int, 0) // ranks whose boundary/coarse tree serves as LET
 		for j := 0; j < p; j++ {
 			if j == me {
 				continue
 			}
+			// boundaries[j] is j's full boundary tree, or — with the global
+			// tree on, for distant pairs — j's coarse tree. The coarse tree
+			// is a bit-exact prefix of the boundary tree and was pre-vetted
+			// sufficient, so both predicates below read identically to the
+			// unpruned exchange.
 			if !lettree.Sufficient(myBoundary, boundaries[j].Box, theta) {
 				sendTo = append(sendTo, j)
 			}
 			if lettree.Sufficient(boundaries[j], boundaries[me].Box, theta) {
 				useBoundary = append(useBoundary, j)
 			} else {
-				expectFrom++
+				expectFrom = append(expectFrom, j)
 			}
 		}
 
@@ -457,7 +537,12 @@ func (r *rank) gravity(tagPar int, t *walkTargets) {
 		close(done)
 
 		// Baseline ordering: full local walk, then boundary trees, then
-		// blocking receives in arrival order.
+		// blocking receives in deterministic (ascending peer) order. The
+		// fixed receive order makes the floating-point accumulation order —
+		// and therefore the accelerations — bitwise reproducible, which is
+		// what lets the pruned exchange be fuzzed for exact equivalence
+		// against this baseline. Sends are eager, so the known-source
+		// receives cannot deadlock.
 		tL := time.Now()
 		r.tree.WalkObs(t.groups, t.pos, theta, eps2, t.acc, t.pot,
 			r.cfg.WorkersPerRank, &r.stats.Grav, r.met.ListLenHist())
@@ -468,16 +553,16 @@ func (r *rank) gravity(tagPar int, t *walkTargets) {
 			walkRemote(boundaries[j], j, obs.PhaseWalkBound, fmt.Sprintf("boundary of %d judged sufficient but", j))
 			r.stats.BoundaryUsed++
 		}
-		for k := 0; k < expectFrom; k++ {
+		for _, j := range expectFrom {
 			tR := time.Now()
-			from, msg := r.comm.RecvAny(tag)
+			msg := r.comm.Recv(j, tag)
 			d := time.Since(tR)
 			waitTime += d
 			if r.obs != nil {
-				r.obs.Span(r.eval, obs.PhaseWaitLET, obs.LaneCompute, 0, tR, tR.Add(d), int64(from))
-				recordArrival(tR.Add(d), from, obs.LaneCompute)
+				r.obs.Span(r.eval, obs.PhaseWaitLET, obs.LaneCompute, 0, tR, tR.Add(d), int64(j))
+				recordArrival(tR.Add(d), j, obs.LaneCompute)
 			}
-			walkRemote(msg.(*lettree.LET), from, obs.PhaseWalkLET, "received LET")
+			walkRemote(msg.(*lettree.LET), j, obs.PhaseWalkLET, "received LET")
 			r.stats.LETsRecv++
 		}
 	} else {
@@ -490,14 +575,42 @@ func (r *rank) gravity(tagPar int, t *walkTargets) {
 		// predicate on the same two boundary trees, so no handshake is
 		// needed (the paper's symmetric double-check).
 		btag := tagBoundaryBase + tagPar
-		bLeft := p - 1  // boundaries still in flight
+		bLeft := p - 1 // boundaries still in flight
+		if glob != nil {
+			bLeft = nearRecv // distant peers were pruned: nothing in flight from them
+		}
 		expectFrom := 0 // full LETs that will arrive for us (grows as boundaries land)
 		letsSent := 0
-		var boundaryWalks []int   // ranks whose boundary tree serves as LET
+		var boundaryWalks []int   // ranks whose boundary/coarse tree serves as LET
 		jobs := make(chan int, p) // full-LET destinations, fed per arrival
 		var letCount chan int     // final expectFrom for the receiver goroutine
 		if !r.cfg.PollReceiver {
 			letCount = make(chan int, 1)
+		}
+		if glob != nil {
+			// Prefilled pairs settle immediately from the allgathered coarse
+			// data, through the same pairwise predicates an arriving boundary
+			// tree would face: a full LET is owed whenever our boundary tree
+			// alone cannot serve j's targets, and j's tree either banks as
+			// guaranteed local work or announces a full LET en route. With
+			// K < BoundaryDepth only mutually-distant peers are prefilled and
+			// both predicates settle the cheap way (monotonicity of the MAC
+			// over depth-truncation); with K == BoundaryDepth every peer is
+			// prefilled and near pairs exchange full LETs directly.
+			for j := 0; j < p; j++ {
+				if j == me || boundaries[j] == nil {
+					continue
+				}
+				if !lettree.Sufficient(myBoundary, boundaries[j].Box, theta) {
+					letsSent++
+					jobs <- j
+				}
+				if lettree.Sufficient(boundaries[j], myBoundary.Box, theta) {
+					boundaryWalks = append(boundaryWalks, j)
+				} else {
+					expectFrom++
+				}
+			}
 		}
 		processBoundary := func(from int, bt *lettree.LET) {
 			boundaries[from] = bt
@@ -517,10 +630,10 @@ func (r *rank) gravity(tagPar int, t *walkTargets) {
 				}
 			}
 		}
-		if bLeft == 0 { // single rank: nothing will arrive
+		if bLeft == 0 { // single rank or fully prefilled: no boundaries in flight
 			close(jobs)
 			if letCount != nil {
-				letCount <- 0
+				letCount <- expectFrom
 			}
 		}
 

@@ -46,8 +46,18 @@ type Config struct {
 	NGroup         int     // target group size (default 64)
 	BoundaryDepth  int     // boundary-tree depth (default 4)
 	DomainFreq     int     // steps between domain updates (default 4)
-	PX             int     // decomposition DD-process count (0 = auto)
-	SnapLevel      int     // snap domain bounds to level-k octree cells (0 = off)
+	// GlobalTree enables the shared coarse global octree: every gravity
+	// evaluation ring-allgathers the top GlobalTree levels of each rank's
+	// octree (a boundary-tree prefix plus occupancy histograms), merges them
+	// into one coarse tree replicated on every rank, and uses it to prune
+	// the boundary exchange — distant rank pairs are served entirely from
+	// the coarse cells and never exchange boundary trees. The value is the
+	// coarse depth K, clamped to BoundaryDepth (the coarse tree must stay a
+	// bit-exact prefix of the boundary tree for the pruned walks to be
+	// exact). 0 (the default) keeps the all-to-all boundary exchange.
+	GlobalTree int
+	PX         int // decomposition DD-process count (0 = auto)
+	SnapLevel  int // snap domain bounds to level-k octree cells (0 = off)
 
 	// BlockSteps enables hierarchical power-of-two block timesteps: each
 	// particle integrates at DT/2^rung with the rung chosen from the
@@ -172,6 +182,11 @@ func (c Config) withDefaults() Config {
 	if c.DomainFreq <= 0 {
 		c.DomainFreq = 4
 	}
+	if c.GlobalTree > c.BoundaryDepth {
+		// Deeper coarse structure than the boundary tree would break the
+		// prefix property the pruned walks' exactness rests on.
+		c.GlobalTree = c.BoundaryDepth
+	}
 	if c.G == 0 {
 		c.G = 1
 	}
@@ -205,6 +220,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxRungs < 0 || c.MaxRungs > 16 {
 		return fmt.Errorf("sim: config MaxRungs = %d outside [0, 16]", c.MaxRungs)
+	}
+	if c.GlobalTree < 0 || c.GlobalTree > 8 {
+		return fmt.Errorf("sim: config GlobalTree = %d outside [0, 8]", c.GlobalTree)
 	}
 	return nil
 }
@@ -349,28 +367,32 @@ func (s *Simulation) recordStepMetrics(eval int, rs []RankStats, be *blockEval) 
 	}
 	rec.Metrics().ImbalanceHist().Observe(int64(agg.MaxTimes.Total - agg.Times.Total))
 	m := obs.StepMetrics{
-		Step:            eval,
-		Ranks:           agg.Ranks,
-		N:               agg.N,
-		MeanStepMS:      agg.Times.Total.Seconds() * 1e3,
-		MaxStepMS:       agg.MaxTimes.Total.Seconds() * 1e3,
-		ImbalancePct:    imbPct,
-		Straggler:       straggler,
-		NonHiddenCommMS: agg.Times.NonHiddenComm.Seconds() * 1e3,
-		OverlapFrac:     agg.OverlapFrac,
-		LETsRecv:        agg.LETsRecv,
-		LETsOverlapped:  agg.LETsOverlapped,
-		ArrivalsSeen:    arrivals,
-		WorstArrivalMS:  worstMS,
-		WalkGflops:      agg.WalkGflops,
-		AppGflops:       agg.AppGflops,
-		KernelISA:       agg.KernelISA,
-		SortBuildMS:     agg.Times.SortBuild.Seconds() * 1e3,
-		DomainMS:        agg.Times.Domain.Seconds() * 1e3,
-		TreePropsMS:     agg.Times.TreeProps.Seconds() * 1e3,
-		GravLocalMS:     agg.Times.GravLocal.Seconds() * 1e3,
-		GravLETMS:       agg.Times.GravLET.Seconds() * 1e3,
-		OtherMS:         agg.Times.Other.Seconds() * 1e3,
+		Step:             eval,
+		Ranks:            agg.Ranks,
+		N:                agg.N,
+		MeanStepMS:       agg.Times.Total.Seconds() * 1e3,
+		MaxStepMS:        agg.MaxTimes.Total.Seconds() * 1e3,
+		ImbalancePct:     imbPct,
+		Straggler:        straggler,
+		NonHiddenCommMS:  agg.Times.NonHiddenComm.Seconds() * 1e3,
+		OverlapFrac:      agg.OverlapFrac,
+		LETsRecv:         agg.LETsRecv,
+		LETsOverlapped:   agg.LETsOverlapped,
+		BoundarySent:     agg.BoundarySent,
+		GlobalServed:     agg.GlobalServed,
+		GlobalServedFrac: agg.GlobalServedFrac,
+		GlobBytes:        agg.GlobBytes,
+		ArrivalsSeen:     arrivals,
+		WorstArrivalMS:   worstMS,
+		WalkGflops:       agg.WalkGflops,
+		AppGflops:        agg.AppGflops,
+		KernelISA:        agg.KernelISA,
+		SortBuildMS:      agg.Times.SortBuild.Seconds() * 1e3,
+		DomainMS:         agg.Times.Domain.Seconds() * 1e3,
+		TreePropsMS:      agg.Times.TreeProps.Seconds() * 1e3,
+		GravLocalMS:      agg.Times.GravLocal.Seconds() * 1e3,
+		GravLETMS:        agg.Times.GravLET.Seconds() * 1e3,
+		OtherMS:          agg.Times.Other.Seconds() * 1e3,
 	}
 	if be != nil {
 		m.Substep = be.boundary

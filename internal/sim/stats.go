@@ -77,6 +77,15 @@ type RankStats struct {
 	BoundaryUsed int        // remote ranks served by their boundary tree alone
 	LETBytesSent int64      // serialized LET + boundary traffic
 
+	// Global-tree exchange-pruning counters (Config.GlobalTree > 0):
+	// boundary trees actually pushed to peers (p−1 per evaluation without
+	// pruning), peers served entirely from the shared coarse tree (no
+	// boundary exchanged with them at all), and the serialized size of the
+	// allgathered coarse contributions.
+	BoundarySent int
+	GlobalServed int
+	GlobBytes    int64
+
 	// Overlap-efficiency counters for the pipelined gravity phase.
 	LETsOverlapped int           // LETs walked before the local walk finished
 	RecvIdle       time.Duration // receiver-goroutine time blocked on arrivals
@@ -118,6 +127,18 @@ type StepStats struct {
 	LETsSent     int
 	BoundaryUsed int
 	BytesSent    int64 // all rank-to-rank traffic this step (metered)
+
+	// Exchange-pruning summary (Config.GlobalTree > 0). Every directed rank
+	// pair is either served from the shared coarse global tree or receives a
+	// full boundary tree, so GlobalServedFrac = GlobalServed /
+	// (GlobalServed + BoundarySent) is the fraction of pair-slots that
+	// skipped the boundary exchange — independent of how many evaluations
+	// the step ran. GlobBytes is the coarse-contribution traffic paid to
+	// earn the pruning.
+	BoundarySent     int
+	GlobalServed     int
+	GlobalServedFrac float64
+	GlobBytes        int64
 
 	// Overlap efficiency of the gravity phase: how many of the received
 	// full LETs were walked while the local tree-walk was still running
@@ -172,6 +193,9 @@ func aggregate(step int, rs []RankStats) StepStats {
 		out.LETsRecv += rs[i].LETsRecv
 		out.LETsOverlapped += rs[i].LETsOverlapped
 		out.RecvIdle += rs[i].RecvIdle
+		out.BoundarySent += rs[i].BoundarySent
+		out.GlobalServed += rs[i].GlobalServed
+		out.GlobBytes += rs[i].GlobBytes
 		maxDur(&out.MaxTimes.SortBuild, rs[i].Times.SortBuild)
 		maxDur(&out.MaxTimes.Domain, rs[i].Times.Domain)
 		maxDur(&out.MaxTimes.TreeProps, rs[i].Times.TreeProps)
@@ -187,6 +211,9 @@ func aggregate(step int, rs []RankStats) StepStats {
 	}
 	if out.LETsRecv > 0 {
 		out.OverlapFrac = float64(out.LETsOverlapped) / float64(out.LETsRecv)
+	}
+	if slots := out.GlobalServed + out.BoundarySent; slots > 0 {
+		out.GlobalServedFrac = float64(out.GlobalServed) / float64(slots)
 	}
 	if out.N > 0 {
 		out.PPPerParticle = float64(out.Grav.PP) / float64(out.N)
